@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation A3: memory-controller scheduling knobs — the write-drain
+ * thresholds.  Sweeps the high watermark (the paper's controller
+ * schedules reads before writes "unless the number of outstanding
+ * write requests is above a certain threshold") and reports FB-DIMM
+ * throughput and latency per group.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "system/metrics.hh"
+#include "system/runner.hh"
+#include "workload/mixes.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    }
+
+    auto prep = [&](SystemConfig c) {
+        c.warmupInsts = quick ? 20'000 : 50'000;
+        c.measureInsts = quick ? 80'000 : 200'000;
+        applyInstsFromEnv(c);
+        return c;
+    };
+
+    std::cout << "== Ablation A3: write-drain threshold sweep ==\n\n";
+
+    TextTable t({"cores", "drain@8", "drain@16", "drain@32",
+                 "drain@48"});
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        std::vector<std::string> row{std::to_string(cores)};
+        for (unsigned high : {8u, 16u, 32u, 48u}) {
+            double s = 0.0;
+            unsigned n = 0;
+            for (const auto &mix : mixesFor(cores)) {
+                SystemConfig c = prep(SystemConfig::fbdBase());
+                c.writeDrainHigh = high;
+                c.writeDrainLow = high / 4;
+                s += runMix(c, mix).ipcSum();
+                ++n;
+            }
+            row.push_back(fmtD(s / n));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

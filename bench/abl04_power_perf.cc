@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation A4: the power/performance balance the paper leaves as
+ * future work (Section 5.5: "we plan to study the trade off in the
+ * future ... the prefetch buffer with four-way associativity, 64
+ * cache lines and using four-cacheline interleaving mode is a good
+ * choice").  Sweeps the design space and prints speedup vs relative
+ * DRAM energy so the Pareto frontier is visible; flags the paper's
+ * recommended point.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "power/power_model.hh"
+#include "system/metrics.hh"
+#include "system/runner.hh"
+#include "workload/mixes.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    }
+
+    auto prep = [&](SystemConfig c) {
+        c.warmupInsts = quick ? 20'000 : 50'000;
+        c.measureInsts = quick ? 80'000 : 200'000;
+        applyInstsFromEnv(c);
+        return c;
+    };
+
+    PowerModel pm;
+
+    std::cout << "== Ablation A4: power/performance balance "
+                 "(paper Section 5.5 future work) ==\n\n";
+
+    for (unsigned cores : {1u, 4u}) {
+        // Baselines per group.
+        double base_perf = 0.0;
+        std::vector<RunResult> bases;
+        for (const auto &mix : mixesFor(cores)) {
+            bases.push_back(runMix(prep(SystemConfig::fbdBase()),
+                                   mix));
+            base_perf += bases.back().ipcSum();
+        }
+
+        TextTable t({"K", "entries", "ways", "speedup",
+                     "rel. energy", "note"});
+        for (unsigned k : {2u, 4u, 8u}) {
+            for (unsigned entries : {32u, 64u, 128u}) {
+                for (unsigned ways : {1u, 2u, 4u, 0u}) {
+                    double perf = 0.0, energy = 0.0;
+                    unsigned i = 0;
+                    for (const auto &mix : mixesFor(cores)) {
+                        SystemConfig c = prep(SystemConfig::fbdAp());
+                        c.regionLines = k;
+                        c.ambEntries = entries;
+                        c.ambWays = ways;
+                        RunResult r = runMix(c, mix);
+                        perf += r.ipcSum();
+                        energy += pm.relativeDynamicEnergy(
+                            r.ops, r.totalInsts(), bases[i].ops,
+                            bases[i].totalInsts());
+                        ++i;
+                    }
+                    const bool recommended =
+                        k == 4 && entries == 64 && ways == 4;
+                    t.addRow({std::to_string(k),
+                              std::to_string(entries),
+                              ways ? std::to_string(ways) : "full",
+                              fmtPct(perf / base_perf - 1.0),
+                              fmtD(energy / i),
+                              recommended ? "<- paper pick" : ""});
+                }
+            }
+        }
+        std::cout << cores << "-core average\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

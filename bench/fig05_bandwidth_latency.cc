@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 5: average utilized bandwidth (x) vs average memory latency
+ * (y) for DDR2 and FB-DIMM, per workload.  The paper's shape: at one
+ * core FB-DIMM shows slightly higher latency at equal bandwidth; at
+ * eight cores FB-DIMM sustains more bandwidth at lower latency.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "system/metrics.hh"
+#include "system/runner.hh"
+#include "workload/mixes.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    }
+
+    auto prep = [&](SystemConfig c) {
+        c.warmupInsts = quick ? 30'000 : 75'000;
+        c.measureInsts = quick ? 120'000 : 300'000;
+        applyInstsFromEnv(c);
+        return c;
+    };
+
+    std::cout << "== Figure 5: utilized bandwidth vs average latency, "
+                 "DDR2 vs FB-DIMM ==\n\n";
+
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        TextTable t({"workload", "DDR2 GB/s", "DDR2 lat ns",
+                     "FBD GB/s", "FBD lat ns"});
+        double bw_d = 0, lat_d = 0, bw_f = 0, lat_f = 0;
+        unsigned n = 0;
+        for (const auto &mix : mixesFor(cores)) {
+            RunResult d = runMix(prep(SystemConfig::ddr2()), mix);
+            RunResult f = runMix(prep(SystemConfig::fbdBase()), mix);
+            bw_d += d.bandwidthGBs;
+            lat_d += d.avgReadLatencyNs;
+            bw_f += f.bandwidthGBs;
+            lat_f += f.avgReadLatencyNs;
+            ++n;
+            t.addRow({mix.name, fmtD(d.bandwidthGBs, 2),
+                      fmtD(d.avgReadLatencyNs, 1),
+                      fmtD(f.bandwidthGBs, 2),
+                      fmtD(f.avgReadLatencyNs, 1)});
+        }
+        t.addRow({"average", fmtD(bw_d / n, 2), fmtD(lat_d / n, 1),
+                  fmtD(bw_f / n, 2), fmtD(lat_f / n, 1)});
+        std::cout << cores << "-core workloads\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

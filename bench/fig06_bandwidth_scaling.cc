@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 6: performance impact of memory bandwidth — sweeping the
+ * channel data rate (533 / 667 / 800 MT/s) and the number of logic
+ * channels (1 / 2 / 4) for both DDR2 and FB-DIMM, reported as the
+ * average SMT speedup per core-count group.
+ *
+ * Shape targets: performance rises monotonically with bandwidth; the
+ * gains are far larger for the 4- and 8-core workloads (the paper
+ * quotes +75 % for 8 cores going from one to two channels, +49 % from
+ * two to four, vs +8.8 % / +5.1 % for single-core).
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "system/metrics.hh"
+#include "system/runner.hh"
+#include "workload/mixes.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    }
+
+    auto prep = [&](SystemConfig c) {
+        c.warmupInsts = quick ? 20'000 : 50'000;
+        c.measureInsts = quick ? 80'000 : 200'000;
+        applyInstsFromEnv(c);
+        return c;
+    };
+
+    ReferenceSet refs(prep(SystemConfig::ddr2()));
+
+    auto group_avg = [&](const SystemConfig &cfg, unsigned cores) {
+        double sum = 0.0;
+        unsigned n = 0;
+        for (const auto &mix : mixesFor(cores)) {
+            RunResult r = runMix(cfg, mix);
+            sum += smtSpeedup(r, mix, refs);
+            ++n;
+        }
+        return sum / n;
+    };
+
+    std::cout << "== Figure 6: bandwidth impact on performance ==\n"
+              << "average SMT speedup per group\n\n";
+
+    std::cout << "-- data-rate sweep (2 logic channels) --\n";
+    {
+        TextTable t({"cores", "DDR2-533", "DDR2-667", "DDR2-800",
+                     "FBD-533", "FBD-667", "FBD-800"});
+        for (unsigned cores : {1u, 2u, 4u, 8u}) {
+            std::vector<std::string> row{std::to_string(cores)};
+            for (bool fbd : {false, true}) {
+                for (unsigned rate : {533u, 667u, 800u}) {
+                    SystemConfig c = prep(fbd ? SystemConfig::fbdBase()
+                                              : SystemConfig::ddr2());
+                    c.dataRate = rate;
+                    row.push_back(fmtD(group_avg(c, cores)));
+                }
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\n-- channel-count sweep (667 MT/s) --\n";
+    {
+        TextTable t({"cores", "DDR2-1ch", "DDR2-2ch", "DDR2-4ch",
+                     "FBD-1ch", "FBD-2ch", "FBD-4ch"});
+        for (unsigned cores : {1u, 2u, 4u, 8u}) {
+            std::vector<std::string> row{std::to_string(cores)};
+            for (bool fbd : {false, true}) {
+                for (unsigned ch : {1u, 2u, 4u}) {
+                    SystemConfig c = prep(fbd ? SystemConfig::fbdBase()
+                                              : SystemConfig::ddr2());
+                    c.logicChannels = ch;
+                    row.push_back(fmtD(group_avg(c, cores)));
+                }
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Design-space sweep to CSV: the three machines x a workload group,
+ * streamed as CSV for external plotting.  Demonstrates the Sweep
+ * batch driver.
+ *
+ *   ./example_design_space [cores] [insts] > results.csv
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "system/runner.hh"
+#include "system/sweep.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    const unsigned cores = argc > 1
+        ? static_cast<unsigned>(std::atoi(argv[1]))
+        : 2;
+    const std::uint64_t insts = argc > 2
+        ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+        : 200'000;
+
+    auto prep = [&](SystemConfig c) {
+        c.warmupInsts = insts / 4;
+        c.measureInsts = insts;
+        applyInstsFromEnv(c);
+        return c;
+    };
+
+    Sweep sweep;
+    sweep.addConfig("ddr2", prep(SystemConfig::ddr2()))
+        .addConfig("fbd", prep(SystemConfig::fbdBase()))
+        .addConfig("fbd-ap", prep(SystemConfig::fbdAp()));
+
+    // A few AP variants for the design-space flavour.
+    for (unsigned k : {2u, 8u}) {
+        SystemConfig c = prep(SystemConfig::fbdAp());
+        c.regionLines = k;
+        sweep.addConfig("fbd-ap-k" + std::to_string(k), c);
+    }
+
+    sweep.addMixGroup(cores);
+    sweep.runCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * fbdpsim — the command-line front end to the simulator.
+ *
+ *   ./example_fbdpsim [options]
+ *
+ * Options:
+ *   --mix NAME        workload mix (default 2C-1; see Table 3 names,
+ *                     or 1C-<bench> for single programs)
+ *   --machine M       ddr2 | fbd | fbd-ap        (default fbd-ap)
+ *   --channels N      logic channels             (default 2)
+ *   --dimms N         DIMMs per channel          (default 4)
+ *   --rate MT         533 | 667 | 800            (default 667)
+ *   --k N             prefetch region lines      (default 4)
+ *   --entries N       AMB-cache lines            (default 64)
+ *   --ways N          associativity, 0 = full    (default 0)
+ *   --interleave I    line | multiline | page    (default by machine)
+ *   --insts N         measured instructions      (default 400000)
+ *   --warmup N        timed warm-up instructions (default insts/4)
+ *   --seed N          workload seed              (default 1)
+ *   --vrl             enable variable read latency
+ *   --no-sp           disable software prefetching
+ *   --no-refresh      disable DRAM auto-refresh
+ *   --apfl            AMB prefetch with full latency (Fig. 9 mode)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "power/power_model.hh"
+#include "system/metrics.hh"
+#include "system/runner.hh"
+#include "workload/mixes.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--mix NAME] [--machine ddr2|fbd|fbd-ap] ...\n"
+                 "see the header of examples/fbdpsim.cpp for the full "
+                 "option list\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    std::string mix_name = "2C-1";
+    std::string machine = "fbd-ap";
+    std::string interleave;
+    SystemConfig cfg = SystemConfig::fbdAp();
+    std::uint64_t insts = 400'000;
+    std::uint64_t warmup = 0;
+    bool vrl = false, no_sp = false, no_refresh = false,
+         apfl = false, verbose = false;
+    unsigned channels = 2, dimms = 4, rate = 667, k = 4,
+             entries = 64, ways = 0;
+    std::uint64_t seed = 1;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--mix"))
+            mix_name = need(i);
+        else if (!std::strcmp(a, "--machine"))
+            machine = need(i);
+        else if (!std::strcmp(a, "--channels"))
+            channels = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--dimms"))
+            dimms = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--rate"))
+            rate = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--k"))
+            k = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--entries"))
+            entries = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--ways"))
+            ways = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--interleave"))
+            interleave = need(i);
+        else if (!std::strcmp(a, "--insts"))
+            insts = static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (!std::strcmp(a, "--warmup"))
+            warmup = static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (!std::strcmp(a, "--seed"))
+            seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (!std::strcmp(a, "--vrl"))
+            vrl = true;
+        else if (!std::strcmp(a, "--no-sp"))
+            no_sp = true;
+        else if (!std::strcmp(a, "--no-refresh"))
+            no_refresh = true;
+        else if (!std::strcmp(a, "--apfl"))
+            apfl = true;
+        else if (!std::strcmp(a, "--verbose"))
+            verbose = true;
+        else
+            usage(argv[0]);
+    }
+
+    if (machine == "ddr2")
+        cfg = SystemConfig::ddr2();
+    else if (machine == "fbd")
+        cfg = SystemConfig::fbdBase();
+    else if (machine == "fbd-ap")
+        cfg = SystemConfig::fbdAp();
+    else
+        usage(argv[0]);
+
+    if (!interleave.empty()) {
+        if (interleave == "line")
+            cfg.scheme = Interleave::Cacheline;
+        else if (interleave == "multiline")
+            cfg.scheme = Interleave::MultiCacheline;
+        else if (interleave == "page")
+            cfg.scheme = Interleave::Page;
+        else
+            usage(argv[0]);
+    }
+
+    cfg.logicChannels = channels;
+    cfg.dimmsPerChannel = dimms;
+    cfg.dataRate = rate;
+    cfg.regionLines = k;
+    cfg.ambEntries = entries;
+    cfg.ambWays = ways;
+    cfg.vrl = vrl;
+    cfg.swPrefetch = !no_sp;
+    cfg.refreshEnable = !no_refresh;
+    cfg.apFullLatency = apfl;
+    cfg.measureInsts = insts;
+    cfg.warmupInsts = warmup ? warmup : insts / 4;
+    cfg.seed = seed;
+    applyInstsFromEnv(cfg);
+
+    const WorkloadMix &mix = mixByName(mix_name);
+    cfg.benchmarks = mix.benches;
+    System sys(cfg);
+    RunResult r = sys.run();
+
+    std::cout << "fbdpsim: " << machine << " / " << mix.name << " / "
+              << channels << " logic channels @ " << rate
+              << " MT/s\n\n";
+
+    TextTable per_core({"core", "benchmark", "IPC", "insts"});
+    for (size_t i = 0; i < r.ipc.size(); ++i) {
+        per_core.addRow({std::to_string(i), mix.benches[i],
+                         fmtD(r.ipc[i]),
+                         std::to_string(r.insts[i])});
+    }
+    per_core.print(std::cout);
+
+    std::cout << "\n";
+    TextTable t({"metric", "value"});
+    t.addRow({"IPC sum", fmtD(r.ipcSum())});
+    t.addRow({"sim time (us)",
+              fmtD(static_cast<double>(r.measuredTicks) * 1e-6, 1)});
+    t.addRow({"avg read latency (ns)", fmtD(r.avgReadLatencyNs, 1)});
+    t.addRow({"utilized bandwidth (GB/s)", fmtD(r.bandwidthGBs, 2)});
+    t.addRow({"memory reads", std::to_string(r.reads)});
+    t.addRow({"memory writes", std::to_string(r.writes)});
+    t.addRow({"ACT/PRE pairs", std::to_string(r.ops.actPre)});
+    t.addRow({"column accesses", std::to_string(r.ops.cas())});
+    t.addRow({"refresh commands", std::to_string(r.ops.refresh)});
+    if (cfg.apEnable) {
+        t.addRow({"AMB-cache hits", std::to_string(r.ambHits)});
+        t.addRow({"prefetch coverage", fmtPct(r.coverage)});
+        t.addRow({"prefetch efficiency", fmtPct(r.efficiency)});
+    }
+    t.addRow({"L2 hits", std::to_string(r.l2Hits)});
+    t.addRow({"L2 misses", std::to_string(r.l2Misses)});
+    t.addRow({"sw prefetches", std::to_string(r.swPrefetchesSent)});
+    t.print(std::cout);
+
+    if (verbose) {
+        std::cout << "\n";
+        sys.report(std::cout);
+    }
+    return 0;
+}

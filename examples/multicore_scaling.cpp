@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Multi-core scaling study: how one workload family behaves as the
+ * machine grows from one to eight cores, on all three memory systems.
+ *
+ * This is the scenario the paper's introduction motivates: multi-core
+ * processors multiply off-chip traffic, conventional DDR2 runs out of
+ * channel capacity, FB-DIMM scales further, and AMB prefetching
+ * recovers both latency and bank bandwidth.
+ *
+ *   ./example_multicore_scaling [insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "system/metrics.hh"
+#include "system/runner.hh"
+#include "workload/mixes.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    const std::uint64_t insts = argc > 1
+        ? static_cast<std::uint64_t>(std::atoll(argv[1]))
+        : 300'000;
+
+    auto prep = [&](SystemConfig c) {
+        c.warmupInsts = insts / 4;
+        c.measureInsts = insts;
+        applyInstsFromEnv(c);
+        return c;
+    };
+
+    // One representative mix per core count, built from the same
+    // benchmark family (Table 3 column 1).
+    const char *mixes[] = {"1C-swim", "2C-1", "4C-1", "8C-2"};
+
+    std::cout << "fbdp multicore scaling study (" << insts
+              << " measured instructions per run)\n\n";
+
+    TextTable t({"mix", "machine", "IPC sum", "GB/s", "lat ns",
+                 "AMB coverage"});
+    for (const char *name : mixes) {
+        const WorkloadMix &mix = mixByName(name);
+        RunResult d = runMix(prep(SystemConfig::ddr2()), mix);
+        RunResult f = runMix(prep(SystemConfig::fbdBase()), mix);
+        RunResult a = runMix(prep(SystemConfig::fbdAp()), mix);
+        t.addRow({name, "DDR2", fmtD(d.ipcSum()),
+                  fmtD(d.bandwidthGBs, 2),
+                  fmtD(d.avgReadLatencyNs, 1), "-"});
+        t.addRow({"", "FBD", fmtD(f.ipcSum()),
+                  fmtD(f.bandwidthGBs, 2),
+                  fmtD(f.avgReadLatencyNs, 1), "-"});
+        t.addRow({"", "FBD-AP", fmtD(a.ipcSum()),
+                  fmtD(a.bandwidthGBs, 2),
+                  fmtD(a.avgReadLatencyNs, 1), fmtPct(a.coverage)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading the table: FB-DIMM trades idle latency "
+                 "for channel capacity, so it\nfalls slightly behind "
+                 "DDR2 at low core counts and pulls ahead as cores\n"
+                 "multiply; AMB prefetching then serves about half "
+                 "the reads from the AMB\ncache at 33 ns instead of "
+                 "63 ns while halving DRAM activations.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+#include "cache/cache_array.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+CacheArray::CacheArray(std::uint64_t size_bytes, unsigned ways)
+    : nSets(0), nWays(ways)
+{
+    fbdp_assert(ways >= 1, "cache needs >= 1 way");
+    fbdp_assert(size_bytes % (static_cast<std::uint64_t>(ways)
+                              * lineBytes) == 0,
+                "cache size not divisible by way size");
+    nSets = static_cast<unsigned>(size_bytes
+                                  / (static_cast<std::uint64_t>(ways)
+                                     * lineBytes));
+    fbdp_assert(nSets >= 1, "cache has zero sets");
+    lines.resize(static_cast<size_t>(nSets) * nWays);
+}
+
+CacheArray::Line *
+CacheArray::lookup(Addr line_addr, bool touch)
+{
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines[static_cast<size_t>(set) * nWays];
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            if (touch)
+                base[w].lruSeq = nextLru++;
+            ++nHits;
+            return &base[w];
+        }
+    }
+    ++nMisses;
+    return nullptr;
+}
+
+CacheArray::Victim
+CacheArray::install(Addr line_addr, bool dirty)
+{
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines[static_cast<size_t>(set) * nWays];
+
+    Line *slot = nullptr;
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            // Already present: refresh.
+            base[w].dirty = base[w].dirty || dirty;
+            base[w].lruSeq = nextLru++;
+            return Victim{};
+        }
+        if (!slot && !base[w].valid)
+            slot = &base[w];
+    }
+
+    Victim v;
+    if (!slot) {
+        slot = &base[0];
+        for (unsigned w = 1; w < nWays; ++w) {
+            if (base[w].lruSeq < slot->lruSeq)
+                slot = &base[w];
+        }
+        v.valid = true;
+        v.lineAddr = slot->lineAddr;
+        v.dirty = slot->dirty;
+    }
+
+    slot->lineAddr = line_addr;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->lruSeq = nextLru++;
+    return v;
+}
+
+bool
+CacheArray::invalidate(Addr line_addr)
+{
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines[static_cast<size_t>(set) * nWays];
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr) {
+            base[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+CacheArray::reset()
+{
+    for (auto &l : lines)
+        l.valid = false;
+    nextLru = 0;
+    resetStats();
+}
+
+} // namespace fbdp

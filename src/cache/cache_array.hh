@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A generic set-associative, LRU, write-back tag array.
+ *
+ * Used for the per-core 64 KB 2-way L1 data caches and the shared 4 MB
+ * 4-way L2 of Table 1.  Purely functional (tags only — the simulator
+ * never carries data payloads); timing is applied by CacheHierarchy.
+ */
+
+#ifndef FBDP_CACHE_CACHE_ARRAY_HH
+#define FBDP_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** Tag array with LRU replacement. */
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruSeq = 0;
+    };
+
+    /** What fell out of the set on an install. */
+    struct Victim
+    {
+        bool valid = false;   ///< a line was evicted
+        Addr lineAddr = 0;
+        bool dirty = false;
+    };
+
+    CacheArray(std::uint64_t size_bytes, unsigned ways);
+
+    /** Find a line; bumps LRU when @p touch. @return nullptr on miss. */
+    Line *lookup(Addr line_addr, bool touch = true);
+
+    /** Install @p line_addr (must not be present). */
+    Victim install(Addr line_addr, bool dirty);
+
+    /** Drop a line if present. */
+    bool invalidate(Addr line_addr);
+
+    void reset();
+
+    unsigned numSets() const { return nSets; }
+    unsigned numWays() const { return nWays; }
+    std::uint64_t sizeBytes() const
+    {
+        return static_cast<std::uint64_t>(nSets) * nWays * lineBytes;
+    }
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    void resetStats() { nHits = 0; nMisses = 0; }
+
+  private:
+    unsigned setOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>(lineIndex(line_addr) % nSets);
+    }
+
+    unsigned nSets;
+    unsigned nWays;
+    std::uint64_t nextLru = 0;
+    std::vector<Line> lines;  ///< set-major
+
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The two-level cache hierarchy of Table 1: per-core 64 KB 2-way L1
+ * data caches over a shared 4 MB 4-way L2, write-back/write-allocate,
+ * with MSHR-based miss handling and non-binding software prefetch.
+ *
+ * Timing model: L1 hits are free (the 3-cycle L1 latency is folded
+ * into each core's base IPC), L2 hits cost the configured hit latency,
+ * and misses complete whenever the memory system delivers the line.
+ * Functional state (tags, dirty bits) updates eagerly at access time,
+ * which keeps the model deterministic.
+ */
+
+#ifndef FBDP_CACHE_HIERARCHY_HH
+#define FBDP_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/mshr.hh"
+#include "cache/stream_prefetcher.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace fbdp {
+
+/** The memory system as seen from the cache hierarchy. */
+class MemoryIface
+{
+  public:
+    virtual ~MemoryIface() = default;
+
+    /** Fetch a line; @p done fires when data is back at the MC. */
+    virtual void read(Addr line_addr, int core_id, bool sw_prefetch,
+                      std::function<void(Tick)> done) = 0;
+
+    /** Posted write (writeback). */
+    virtual void write(Addr line_addr, int core_id) = 0;
+};
+
+/** Geometry and latency knobs (defaults == Table 1). */
+struct HierConfig
+{
+    std::uint64_t l1Bytes = 64 * 1024;
+    unsigned l1Ways = 2;
+    std::uint64_t l2Bytes = 4 * 1024 * 1024;
+    unsigned l2Ways = 4;
+    Tick l2HitLatency = 15 * cpuCyclePs;
+    unsigned l1Mshrs = 32;  ///< per-core data MSHRs
+    unsigned l2Mshrs = 64;
+    /** Optional hardware stream prefetcher at the L2 (Section 5.4's
+     *  speculation; off by default to match the paper's setup). */
+    StreamPrefetcherConfig hwPrefetch;
+};
+
+/** Per-core L1s + shared L2 + the L2 MSHR file. */
+class CacheHierarchy
+{
+  public:
+    enum class Outcome {
+        L1Hit,    ///< complete immediately
+        L2Hit,    ///< complete at Result::doneAt
+        Miss,     ///< completion via the supplied callback
+        Blocked,  ///< MSHRs exhausted; retry after a poke
+    };
+
+    struct Result
+    {
+        Outcome outcome = Outcome::L1Hit;
+        Tick doneAt = 0;  ///< valid for L1Hit / L2Hit
+    };
+
+    CacheHierarchy(EventQueue *event_queue, unsigned n_cores,
+                   const HierConfig &cfg, MemoryIface *memory);
+
+    /**
+     * Demand access from @p core.  On Outcome::Miss the callback fires
+     * when the line is installed; on Outcome::Blocked nothing was done
+     * and the core must retry after its retry hook is poked.
+     */
+    Result access(int core, Addr addr, bool store,
+                  std::function<void(Tick)> done);
+
+    /** Non-binding software prefetch into the L2; never blocks. */
+    void prefetch(int core, Addr addr);
+
+    /** Hook poked whenever MSHR space frees up. */
+    void setRetryHook(int core, std::function<void()> hook);
+
+    /**
+     * Timeless (functional) warm-up access: updates tags and dirty
+     * bits without events or memory traffic.  Used to pre-warm the
+     * large L2 before timed simulation, standing in for the warm
+     * caches a SimPoint checkpoint would carry.
+     */
+    void functionalAccess(int core, Addr addr, bool store);
+
+    /** Functional counterpart of a software prefetch. */
+    void functionalPrefetch(int core, Addr addr);
+
+    // --- statistics ---
+    std::uint64_t l1Hits(int core) const;
+    std::uint64_t l1Misses(int core) const;
+    std::uint64_t l2Hits() const { return l2.hits(); }
+    std::uint64_t l2Misses() const { return l2.misses(); }
+    std::uint64_t memReads() const { return nMemReads; }
+    std::uint64_t memWrites() const { return nMemWrites; }
+    std::uint64_t prefetchesSent() const { return nPrefSent; }
+    std::uint64_t prefetchesDropped() const { return nPrefDropped; }
+    const StreamPrefetcher *hwPrefetcher() const { return hwPf.get(); }
+    std::uint64_t loadMissReads() const { return nLoadMissReads; }
+    std::uint64_t storeMissReads() const { return nStoreMissReads; }
+    unsigned l1Outstanding(int core) const
+    {
+        return l1Pending.at(static_cast<size_t>(core));
+    }
+
+    void resetStats();
+
+  private:
+    void fillComplete(Addr line_addr, Tick when);
+    void installL1(int core, Addr line_addr, bool dirty);
+    void l2InstallWithWriteback(Addr line_addr, bool dirty, int core);
+    void pokeRetries();
+
+    EventQueue *eq;
+    HierConfig cfg;
+    MemoryIface *mem;
+
+    std::vector<CacheArray> l1;
+    CacheArray l2;
+    MshrTable l2Mshr;
+    std::unique_ptr<StreamPrefetcher> hwPf;
+    std::vector<unsigned> l1Pending;  ///< outstanding L1 misses/core
+
+    std::vector<std::function<void()>> retryHooks;
+
+    std::uint64_t nMemReads = 0;
+    std::uint64_t nMemWrites = 0;
+    std::uint64_t nPrefSent = 0;
+    std::uint64_t nPrefDropped = 0;
+    std::uint64_t nLoadMissReads = 0;   ///< memory reads from loads
+    std::uint64_t nStoreMissReads = 0;  ///< memory reads from stores
+};
+
+} // namespace fbdp
+
+#endif // FBDP_CACHE_HIERARCHY_HH

@@ -1,0 +1,55 @@
+#include "cache/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+MshrTable::Entry *
+MshrTable::find(Addr line_addr)
+{
+    auto it = entries.find(line_addr);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+MshrTable::Entry *
+MshrTable::allocate(Addr line_addr, bool prefetch)
+{
+    fbdp_assert(!full(), "MSHR allocate on a full table");
+    fbdp_assert(!find(line_addr), "duplicate MSHR entry");
+    Entry &e = entries[line_addr];
+    e.lineAddr = line_addr;
+    e.prefetchOnly = prefetch;
+    ++nAllocs;
+    return &e;
+}
+
+void
+MshrTable::merge(Entry *e, Waiter w)
+{
+    if (!w.isPrefetch)
+        e->prefetchOnly = false;
+    e->waiters.push_back(std::move(w));
+    ++nMerges;
+}
+
+std::vector<MshrTable::Waiter>
+MshrTable::complete(Addr line_addr, Tick when)
+{
+    auto it = entries.find(line_addr);
+    fbdp_assert(it != entries.end(), "completing absent MSHR entry");
+    (void)when;
+    std::vector<Waiter> waiters = std::move(it->second.waiters);
+    entries.erase(it);
+    // Callbacks are *not* invoked here: the owning cache installs the
+    // fill first, then notifies, so waiters observe a consistent state.
+    return waiters;
+}
+
+void
+MshrTable::reset()
+{
+    entries.clear();
+    resetStats();
+}
+
+} // namespace fbdp

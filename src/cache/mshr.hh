@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * Outstanding-miss tracking with same-line merging: a second miss to a
+ * line already in flight attaches a waiter to the existing entry
+ * instead of generating more memory traffic.  The table size bounds the
+ * memory-level parallelism a cache can expose (Table 1: 32 per-core
+ * data MSHRs, 64 at the L2).
+ */
+
+#ifndef FBDP_CACHE_MSHR_HH
+#define FBDP_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** One cache's MSHR table. */
+class MshrTable
+{
+  public:
+    /** A party waiting on the fill. */
+    struct Waiter
+    {
+        int coreId = -1;
+        bool isStore = false;
+        bool isPrefetch = false;
+        std::function<void(Tick)> done;
+    };
+
+    struct Entry
+    {
+        Addr lineAddr = 0;
+        bool prefetchOnly = true;  ///< no demand waiter attached yet
+        std::vector<Waiter> waiters;
+    };
+
+    explicit MshrTable(unsigned max_entries) : maxEntries(max_entries) {}
+
+    bool full() const { return entries.size() >= maxEntries; }
+    size_t occupancy() const { return entries.size(); }
+    unsigned capacity() const { return maxEntries; }
+
+    /** Entry in flight for @p line_addr, or nullptr. */
+    Entry *find(Addr line_addr);
+
+    /**
+     * Allocate a new entry.  The caller must have checked full() and
+     * absence of an existing entry.
+     */
+    Entry *allocate(Addr line_addr, bool prefetch);
+
+    /** Attach a waiter to an in-flight entry (merge). */
+    void merge(Entry *e, Waiter w);
+
+    /**
+     * Release the entry for @p line_addr and hand back its waiters.
+     * The caller is responsible for invoking the waiters' callbacks
+     * (after installing the fill).
+     */
+    std::vector<Waiter> complete(Addr line_addr, Tick when);
+
+    std::uint64_t merges() const { return nMerges; }
+    std::uint64_t allocations() const { return nAllocs; }
+    void resetStats() { nMerges = 0; nAllocs = 0; }
+
+    void reset();
+
+  private:
+    unsigned maxEntries;
+    std::unordered_map<Addr, Entry> entries;
+
+    std::uint64_t nMerges = 0;
+    std::uint64_t nAllocs = 0;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_CACHE_MSHR_HH

@@ -1,0 +1,90 @@
+#include "cache/stream_prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+StreamPrefetcher::StreamPrefetcher(const StreamPrefetcherConfig &cfg,
+                                   unsigned n_cores)
+    : c(cfg), nCores(n_cores)
+{
+    fbdp_assert(n_cores >= 1, "stream prefetcher needs >= 1 core");
+    fbdp_assert(c.entriesPerCore >= 1, "needs >= 1 entry per core");
+    table.resize(static_cast<size_t>(n_cores) * c.entriesPerCore);
+}
+
+std::vector<Addr>
+StreamPrefetcher::onDemandMiss(int core, Addr line_addr)
+{
+    std::vector<Addr> out;
+    const std::uint64_t line = lineIndex(line_addr);
+    Entry *base = &table[static_cast<size_t>(core)
+                         * c.entriesPerCore];
+
+    // Match against tracked streams.  A window (rather than exact
+    // next-line) match keeps a trained stream trained even when its
+    // own prefetches turn the intervening lines into hits.
+    const std::uint64_t window = c.distance + c.degree;
+    for (unsigned i = 0; i < c.entriesPerCore; ++i) {
+        Entry &e = base[i];
+        if (!e.valid)
+            continue;
+        const bool asc = e.dir > 0 && line >= e.nextLine
+            && line <= e.nextLine + window;
+        const bool desc = e.dir < 0 && line <= e.nextLine
+            && line + window >= e.nextLine;
+        if (!asc && !desc)
+            continue;
+        // Confirmed: advance and maybe emit.
+        e.nextLine = line + static_cast<std::uint64_t>(e.dir);
+        ++e.confidence;
+        e.lruSeq = nextLru++;
+        if (e.confidence >= c.trainThreshold) {
+            for (unsigned d = 0; d < c.degree; ++d) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(line)
+                    + e.dir * static_cast<std::int64_t>(
+                                  c.distance + d);
+                if (target < 0)
+                    continue;
+                out.push_back(static_cast<Addr>(target)
+                              << lineShift);
+            }
+            nSuggested += out.size();
+        }
+        return out;
+    }
+
+    // No match: allocate a fresh ascending candidate (descending
+    // streams train via their own allocations when line-1 misses
+    // next).
+    Entry *victim = &base[0];
+    for (unsigned i = 0; i < c.entriesPerCore; ++i) {
+        Entry &e = base[i];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruSeq < victim->lruSeq)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->nextLine = line + 1;
+    victim->dir = 1;
+    victim->confidence = 1;
+    victim->lruSeq = nextLru++;
+    ++nAllocs;
+    return out;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto &e : table)
+        e.valid = false;
+    nextLru = 0;
+    nAllocs = 0;
+    nSuggested = 0;
+}
+
+} // namespace fbdp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 spirit.
+ *
+ * panic()  — an internal invariant was violated (a bug in fbdp itself);
+ *            aborts so a debugger / core dump can capture the state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, impossible parameter); exits cleanly.
+ * warn()   — something is suspicious but the simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef FBDP_COMMON_LOGGING_HH
+#define FBDP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fbdp {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Format helper: printf-style into std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace fbdp
+
+#define panic(...) \
+    ::fbdp::panicImpl(__FILE__, __LINE__, ::fbdp::csprintf(__VA_ARGS__))
+
+#define fatal(...) \
+    ::fbdp::fatalImpl(__FILE__, __LINE__, ::fbdp::csprintf(__VA_ARGS__))
+
+#define warn(...) ::fbdp::warnImpl(::fbdp::csprintf(__VA_ARGS__))
+
+#define inform(...) ::fbdp::informImpl(::fbdp::csprintf(__VA_ARGS__))
+
+/** Assert-like check that survives NDEBUG; use for model invariants. */
+#define fbdp_assert(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::fbdp::panicImpl(__FILE__, __LINE__,                         \
+                "assertion '" #cond "' failed: "                          \
+                + ::fbdp::csprintf(__VA_ARGS__));                         \
+        }                                                                 \
+    } while (0)
+
+#endif // FBDP_COMMON_LOGGING_HH

@@ -1,0 +1,94 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace fbdp {
+namespace stats {
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << sum << " # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << mean() << " # " << desc()
+       << " (" << count << " samples)\n";
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count;
+    sum += v;
+    if (v < lo) {
+        ++under;
+        return;
+    }
+    if (v >= hi) {
+        ++over;
+        return;
+    }
+    double width = (hi - lo) / static_cast<double>(buckets.size());
+    auto idx = static_cast<size_t>((v - lo) / width);
+    if (idx >= buckets.size())
+        idx = buckets.size() - 1;
+    ++buckets[idx];
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    under = over = count = 0;
+    sum = 0.0;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " mean="
+       << mean() << " samples=" << count << " # " << desc() << "\n";
+    double width = (hi - lo) / static_cast<double>(buckets.size());
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        os << "  [" << lo + width * static_cast<double>(i) << ", "
+           << lo + width * static_cast<double>(i + 1) << ") "
+           << buckets[i] << "\n";
+    }
+    if (under)
+        os << "  underflows " << under << "\n";
+    if (over)
+        os << "  overflows " << over << "\n";
+}
+
+void
+Formula::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << " "
+       << std::setw(16) << value() << " # " << desc() << "\n";
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : statList)
+        s->reset();
+}
+
+void
+StatGroup::printAll(std::ostream &os) const
+{
+    os << "---------- " << _name << " ----------\n";
+    for (const auto *s : statList)
+        s->print(os);
+}
+
+} // namespace stats
+} // namespace fbdp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * A small statistics package in the spirit of the gem5 stats framework.
+ *
+ * Components declare named statistics inside a StatGroup; the group can
+ * be reset between measurement phases (warm-up vs measured region) and
+ * dumped as text.  Only the stat kinds this project needs are provided:
+ * scalar counters, averages, distributions, and derived formulas
+ * evaluated at dump/query time.
+ */
+
+#ifndef FBDP_COMMON_STATS_HH
+#define FBDP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fbdp {
+namespace stats {
+
+/** Base class for every statistic. */
+class Stat
+{
+  public:
+    Stat(std::string stat_name, std::string stat_desc)
+        : _name(std::move(stat_name)), _desc(std::move(stat_desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Reset to the zero state. */
+    virtual void reset() = 0;
+
+    /** Print "name value # desc" lines to @p os. */
+    virtual void print(std::ostream &os) const = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonic (or at least additive) scalar counter. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { sum += v; return *this; }
+    Scalar &operator++() { sum += 1.0; return *this; }
+
+    double value() const { return sum; }
+    void set(double v) { sum = v; }
+
+    void reset() override { sum = 0.0; }
+    void print(std::ostream &os) const override;
+
+  private:
+    double sum = 0.0;
+};
+
+/** Mean of sampled values (e.g. observed memory latency). */
+class Average : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    std::uint64_t samples() const { return count; }
+    double total() const { return sum; }
+
+    void reset() override { sum = 0.0; count = 0; }
+    void print(std::ostream &os) const override;
+
+  private:
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Fixed-bucket histogram for distribution-shaped stats. */
+class Histogram : public Stat
+{
+  public:
+    Histogram(std::string stat_name, std::string stat_desc,
+              double bucket_lo, double bucket_hi, unsigned n_buckets)
+        : Stat(std::move(stat_name), std::move(stat_desc)),
+          lo(bucket_lo), hi(bucket_hi),
+          buckets(n_buckets, 0)
+    {}
+
+    void sample(double v);
+
+    std::uint64_t underflows() const { return under; }
+    std::uint64_t overflows() const { return over; }
+    std::uint64_t bucket(unsigned i) const { return buckets.at(i); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets.size());
+    }
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? sum / count : 0.0; }
+
+    void reset() override;
+    void print(std::ostream &os) const override;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/** Derived statistic evaluated lazily from a lambda. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string stat_name, std::string stat_desc,
+            std::function<double()> fn)
+        : Stat(std::move(stat_name), std::move(stat_desc)),
+          eval(std::move(fn))
+    {}
+
+    double value() const { return eval ? eval() : 0.0; }
+
+    void reset() override {}
+    void print(std::ostream &os) const override;
+
+  private:
+    std::function<double()> eval;
+};
+
+/**
+ * Container tying a set of stats to a component.  The group does not
+ * own registered stats; components declare them as members and register
+ * in their constructors, which keeps access free of indirection.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name)
+        : _name(std::move(group_name))
+    {}
+
+    void registerStat(Stat *s) { statList.push_back(s); }
+
+    void resetAll();
+    void printAll(std::ostream &os) const;
+
+    const std::string &name() const { return _name; }
+    const std::vector<Stat *> &all() const { return statList; }
+
+  private:
+    std::string _name;
+    std::vector<Stat *> statList;
+};
+
+} // namespace stats
+} // namespace fbdp
+
+#endif // FBDP_COMMON_STATS_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every fbdp module.
+ *
+ * The whole simulator runs on a single integer time base of one
+ * picosecond per tick.  All clocks used by the reproduced system (the
+ * 4 GHz processor and the 267/333/400 MHz DDR2 memory clocks) are exact
+ * multiples of 1 ps, so clock-domain crossings never need rounding.
+ */
+
+#ifndef FBDP_COMMON_TYPES_HH
+#define FBDP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fbdp {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical memory address in bytes. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per nanosecond (1 tick == 1 ps). */
+constexpr Tick ticksPerNs = 1000;
+
+/** Convert a duration in nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs) + 0.5);
+}
+
+/** Convert ticks to (floating point) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Processor clock: 4 GHz, i.e. 250 ps per cycle. */
+constexpr Tick cpuCyclePs = 250;
+
+/** Cacheline (memory block) size used throughout the paper: 64 bytes. */
+constexpr unsigned lineBytes = 64;
+
+/** log2(lineBytes), for address arithmetic. */
+constexpr unsigned lineShift = 6;
+
+/** Round an address down to its cacheline base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Cacheline index of an address. */
+constexpr Addr
+lineIndex(Addr a)
+{
+    return a >> lineShift;
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 for powers of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace fbdp
+
+#endif // FBDP_COMMON_TYPES_HH

@@ -1,0 +1,247 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+Core::Core(std::string name, int id, EventQueue *event_queue,
+           CacheHierarchy *hierarchy, Generator *generator,
+           const CoreParams &params)
+    : _name(std::move(name)),
+      coreId(id),
+      eq(event_queue),
+      hier(hierarchy),
+      gen(generator),
+      p(params),
+      advanceEvent([this] { advance(); }, Event::prioCpu),
+      selfCompleteEvent([this] { selfCompleteFire(); }, Event::prioData)
+{
+    fbdp_assert(p.baseIpc > 0.0, "%s: base IPC must be positive",
+                _name.c_str());
+    hier->setRetryHook(coreId, [this] {
+        if (stallReason == Stall::Mshr)
+            wakeFromStall();
+    });
+}
+
+void
+Core::start()
+{
+    eq->schedule(&advanceEvent, eq->now());
+}
+
+void
+Core::setNotify(std::uint64_t target, std::function<void()> cb)
+{
+    notifyAt = target;
+    notifyCb = std::move(cb);
+}
+
+void
+Core::resetStats()
+{
+    instMark = instCount;
+    tickMark = eq->now();
+    robStall = 0;
+    lqStall = 0;
+    sqStall = 0;
+    mshrStall = 0;
+}
+
+double
+Core::ipc() const
+{
+    const Tick dt = eq->now() - tickMark;
+    if (dt == 0)
+        return 0.0;
+    const double cycles = static_cast<double>(dt)
+        / static_cast<double>(p.cycle);
+    return static_cast<double>(instCount - instMark) / cycles;
+}
+
+void
+Core::addCoreTime(std::uint64_t n_insts)
+{
+    const double t = static_cast<double>(n_insts)
+        / p.baseIpc * static_cast<double>(p.cycle) + fracTicks;
+    const Tick whole = static_cast<Tick>(t);
+    fracTicks = t - static_cast<double>(whole);
+    coreTime += whole;
+}
+
+void
+Core::advance()
+{
+    const Tick now = eq->now();
+    if (coreTime < now)
+        coreTime = now;
+
+    while (true) {
+        if (notifyCb && instCount >= notifyAt) {
+            auto cb = std::move(notifyCb);
+            notifyCb = nullptr;
+            cb();
+            // The callback may have retargeted the notification or
+            // stopped the simulation; just continue.
+        }
+        if (coreTime > now + p.quantum) {
+            eq->schedule(&advanceEvent, coreTime);
+            return;
+        }
+        if (!step())
+            return;  // stalled; a completion will wake us
+    }
+}
+
+bool
+Core::step()
+{
+    // The oldest incomplete load pins the ROB window.
+    if (!outstandingLoads.empty()
+        && instCount + 1 - *outstandingLoads.begin() > p.rob) {
+        enterStall(Stall::Rob);
+        return false;
+    }
+
+    if (!havePending) {
+        pending = gen->next();
+        havePending = true;
+        instCount += pending.gap;
+        addCoreTime(pending.gap);
+    }
+
+    switch (pending.kind) {
+      case TraceOp::Kind::Prefetch: {
+        hier->prefetch(coreId, pending.addr);
+        ++instCount;
+        addCoreTime(1);
+        havePending = false;
+        return true;
+      }
+      case TraceOp::Kind::Load: {
+        if (nLoads >= p.lq) {
+            enterStall(Stall::Lq);
+            return false;
+        }
+        const std::uint64_t seq = instCount + 1;
+        auto res = hier->access(
+            coreId, pending.addr, false,
+            [this, seq](Tick) { completed(seq, true); });
+        if (res.outcome == CacheHierarchy::Outcome::Blocked) {
+            enterStall(Stall::Mshr);
+            return false;
+        }
+        ++instCount;
+        addCoreTime(1);
+        havePending = false;
+        if (res.outcome == CacheHierarchy::Outcome::L1Hit)
+            return true;
+        outstandingLoads.insert(seq);
+        ++nLoads;
+        if (res.outcome == CacheHierarchy::Outcome::L2Hit) {
+            selfDone.emplace(res.doneAt, std::make_pair(seq, true));
+            if (!selfCompleteEvent.scheduled()
+                || selfCompleteEvent.when() > selfDone.begin()->first)
+                eq->schedule(&selfCompleteEvent,
+                             selfDone.begin()->first);
+        }
+        return true;
+      }
+      case TraceOp::Kind::Store: {
+        if (nStores >= p.sq) {
+            enterStall(Stall::Sq);
+            return false;
+        }
+        const std::uint64_t seq = instCount + 1;
+        auto res = hier->access(
+            coreId, pending.addr, true,
+            [this, seq](Tick) { completed(seq, false); });
+        if (res.outcome == CacheHierarchy::Outcome::Blocked) {
+            enterStall(Stall::Mshr);
+            return false;
+        }
+        ++instCount;
+        addCoreTime(1);
+        havePending = false;
+        if (res.outcome == CacheHierarchy::Outcome::L1Hit)
+            return true;
+        ++nStores;
+        if (res.outcome == CacheHierarchy::Outcome::L2Hit) {
+            selfDone.emplace(res.doneAt, std::make_pair(seq, false));
+            if (!selfCompleteEvent.scheduled()
+                || selfCompleteEvent.when() > selfDone.begin()->first)
+                eq->schedule(&selfCompleteEvent,
+                             selfDone.begin()->first);
+        }
+        return true;
+      }
+    }
+    return true;
+}
+
+void
+Core::enterStall(Stall why)
+{
+    stallReason = why;
+    stallSince = eq->now();
+}
+
+void
+Core::wakeFromStall()
+{
+    const Tick now = eq->now();
+    const Tick dt = now - stallSince;
+    switch (stallReason) {
+      case Stall::Rob:
+        robStall += dt;
+        break;
+      case Stall::Lq:
+        lqStall += dt;
+        break;
+      case Stall::Sq:
+        sqStall += dt;
+        break;
+      case Stall::Mshr:
+        mshrStall += dt;
+        break;
+      case Stall::None:
+        break;
+    }
+    stallReason = Stall::None;
+    eq->schedule(&advanceEvent, std::max(now, coreTime));
+}
+
+void
+Core::completed(std::uint64_t seq, bool is_load)
+{
+    if (is_load) {
+        auto it = outstandingLoads.find(seq);
+        fbdp_assert(it != outstandingLoads.end(),
+                    "%s: unknown load completion", _name.c_str());
+        outstandingLoads.erase(it);
+        fbdp_assert(nLoads > 0, "load count underflow");
+        --nLoads;
+    } else {
+        fbdp_assert(nStores > 0, "store count underflow");
+        --nStores;
+    }
+    if (stallReason != Stall::None && stallReason != Stall::Mshr)
+        wakeFromStall();
+}
+
+void
+Core::selfCompleteFire()
+{
+    const Tick now = eq->now();
+    while (!selfDone.empty() && selfDone.begin()->first <= now) {
+        auto [seq, is_load] = selfDone.begin()->second;
+        selfDone.erase(selfDone.begin());
+        completed(seq, is_load);
+    }
+    if (!selfDone.empty())
+        eq->schedule(&selfCompleteEvent, selfDone.begin()->first);
+}
+
+} // namespace fbdp

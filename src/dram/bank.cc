@@ -1,0 +1,92 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+void
+Bank::activate(Tick at, std::uint64_t row)
+{
+    fbdp_assert(!_rowOpen, "ACT to a bank with row %llu already open",
+                static_cast<unsigned long long>(_openRow));
+    fbdp_assert(at >= _actAllowedAt,
+                "ACT at %llu before allowed %llu",
+                static_cast<unsigned long long>(at),
+                static_cast<unsigned long long>(_actAllowedAt));
+    _rowOpen = true;
+    _openRow = row;
+    _casAllowedAt = at + t->tRCD;
+    _preAllowedAt = at + t->tRAS;
+    _actAllowedAt = at + t->tRC;
+}
+
+Tick
+Bank::read(Tick at, unsigned n_cas, bool auto_pre)
+{
+    fbdp_assert(_rowOpen, "RD to a precharged bank");
+    fbdp_assert(n_cas >= 1, "RD with zero column accesses");
+    fbdp_assert(at >= _casAllowedAt,
+                "RD at %llu before allowed %llu",
+                static_cast<unsigned long long>(at),
+                static_cast<unsigned long long>(_casAllowedAt));
+
+    Tick last_cas = at + static_cast<Tick>(n_cas - 1) * t->casGap();
+    _casAllowedAt = last_cas + t->casGap();
+    _preAllowedAt = std::max(_preAllowedAt, last_cas + t->tRPD);
+
+    Tick data_end = last_cas + t->tCL + t->burst;
+    if (auto_pre)
+        precharge(_preAllowedAt);
+    return data_end;
+}
+
+Tick
+Bank::write(Tick at, bool auto_pre)
+{
+    fbdp_assert(_rowOpen, "WR to a precharged bank");
+    fbdp_assert(at >= _casAllowedAt,
+                "WR at %llu before allowed %llu",
+                static_cast<unsigned long long>(at),
+                static_cast<unsigned long long>(_casAllowedAt));
+
+    _casAllowedAt = at + t->casGap();
+    _preAllowedAt = std::max(_preAllowedAt, at + t->tWPD);
+
+    Tick data_end = at + t->tWL + t->burst;
+    if (auto_pre)
+        precharge(_preAllowedAt);
+    return data_end;
+}
+
+void
+Bank::precharge(Tick at)
+{
+    fbdp_assert(_rowOpen, "PRE to an already precharged bank");
+    fbdp_assert(at >= _preAllowedAt,
+                "PRE at %llu before allowed %llu",
+                static_cast<unsigned long long>(at),
+                static_cast<unsigned long long>(_preAllowedAt));
+    _rowOpen = false;
+    _actAllowedAt = std::max(_actAllowedAt, at + t->tRP);
+}
+
+void
+Bank::blockUntil(Tick until)
+{
+    fbdp_assert(!_rowOpen, "refresh with a row open");
+    _actAllowedAt = std::max(_actAllowedAt, until);
+}
+
+void
+Bank::reset()
+{
+    _actAllowedAt = 0;
+    _casAllowedAt = 0;
+    _preAllowedAt = 0;
+    _rowOpen = false;
+    _openRow = 0;
+}
+
+} // namespace fbdp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * State machine of one logic DRAM bank.
+ *
+ * A "logic bank" is the paper's unit: the same-numbered physical bank
+ * across all DRAM chips of a rank, precharged / activated / column-
+ * accessed together.  The bank tracks, as absolute ticks, the earliest
+ * time each command type may *arrive at the device*; the controller is
+ * responsible for adding command-propagation delays and for all
+ * DIMM-level (cross-bank) constraints.
+ *
+ * Both row-buffer policies of the paper are supported:
+ *  - close page with auto-precharge (default; used with cacheline and
+ *    multi-cacheline interleaving), and
+ *  - open page (used with page interleaving), where precharge is an
+ *    explicit command issued on a row conflict.
+ */
+
+#ifndef FBDP_DRAM_BANK_HH
+#define FBDP_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/dram_timing.hh"
+
+namespace fbdp {
+
+/** One logic DRAM bank. */
+class Bank
+{
+  public:
+    explicit Bank(const DramTiming *timing) : t(timing) {}
+
+    /** Earliest tick an ACT may arrive (bank-local constraints only). */
+    Tick actAllowedAt() const { return _actAllowedAt; }
+
+    /** Earliest tick a RD/WR may arrive; only valid with a row open. */
+    Tick casAllowedAt() const { return _casAllowedAt; }
+
+    /** Earliest tick a PRE may arrive. */
+    Tick preAllowedAt() const { return _preAllowedAt; }
+
+    bool rowOpen() const { return _rowOpen; }
+    std::uint64_t openRow() const { return _openRow; }
+
+    /** Apply an ACT arriving at @p at opening @p row. */
+    void activate(Tick at, std::uint64_t row);
+
+    /**
+     * Apply a read column access (or a pipelined group of @p n_cas
+     * accesses spaced casGap apart) arriving at @p at.  With
+     * @p auto_pre the bank precharges itself at the earliest legal
+     * point after the last access.
+     *
+     * @return the tick at which the last data transfer ends at the
+     *         device pins.
+     */
+    Tick read(Tick at, unsigned n_cas, bool auto_pre);
+
+    /**
+     * Apply a write column access arriving at @p at.
+     * @return the tick at which the write data burst ends.
+     */
+    Tick write(Tick at, bool auto_pre);
+
+    /** Apply an explicit PRE arriving at @p at. */
+    void precharge(Tick at);
+
+    /**
+     * Block the bank until @p until (refresh in progress).  Only legal
+     * with the row closed.
+     */
+    void blockUntil(Tick until);
+
+    /** Reset to the all-banks-precharged power-up state. */
+    void reset();
+
+  private:
+    const DramTiming *t;
+
+    Tick _actAllowedAt = 0;
+    Tick _casAllowedAt = 0;
+    Tick _preAllowedAt = 0;
+    bool _rowOpen = false;
+    std::uint64_t _openRow = 0;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_DRAM_BANK_HH

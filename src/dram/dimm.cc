@@ -1,0 +1,105 @@
+#include "dram/dimm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+Dimm::Dimm(const DramTiming *timing, unsigned n_banks)
+    : t(timing)
+{
+    fbdp_assert(n_banks >= 1, "DIMM needs at least one bank");
+    banks.reserve(n_banks);
+    for (unsigned i = 0; i < n_banks; ++i)
+        banks.emplace_back(timing);
+}
+
+Tick
+Dimm::earliestAct(unsigned bank_idx, Tick not_before) const
+{
+    Tick earliest = std::max(not_before,
+                             banks.at(bank_idx).actAllowedAt());
+    if (anyActYet)
+        earliest = std::max(earliest, lastActAt + t->tRRD);
+    return earliest;
+}
+
+Tick
+Dimm::earliestRead(unsigned bank_idx, Tick not_before) const
+{
+    Tick earliest = std::max(not_before,
+                             banks.at(bank_idx).casAllowedAt());
+    // Write-to-read turnaround on the DIMM's shared data path.
+    earliest = std::max(earliest, wrDataEnd + t->tWTR);
+    return earliest;
+}
+
+Tick
+Dimm::earliestWrite(unsigned bank_idx, Tick not_before) const
+{
+    return std::max(not_before, banks.at(bank_idx).casAllowedAt());
+}
+
+Tick
+Dimm::earliestPrecharge(unsigned bank_idx, Tick not_before) const
+{
+    return std::max(not_before, banks.at(bank_idx).preAllowedAt());
+}
+
+void
+Dimm::activate(unsigned bank_idx, Tick at, std::uint64_t row)
+{
+    fbdp_assert(at >= earliestAct(bank_idx, 0),
+                "ACT violates DIMM-level constraints");
+    banks.at(bank_idx).activate(at, row);
+    lastActAt = at;
+    anyActYet = true;
+    ++ops.actPre;
+}
+
+Tick
+Dimm::read(unsigned bank_idx, Tick at, unsigned n_cas, bool auto_pre)
+{
+    fbdp_assert(at >= wrDataEnd + t->tWTR || wrDataEnd == 0,
+                "RD violates tWTR");
+    Tick end = banks.at(bank_idx).read(at, n_cas, auto_pre);
+    ops.rdCas += n_cas;
+    return end;
+}
+
+Tick
+Dimm::write(unsigned bank_idx, Tick at, bool auto_pre)
+{
+    Tick end = banks.at(bank_idx).write(at, auto_pre);
+    wrDataEnd = std::max(wrDataEnd, end);
+    ++ops.wrCas;
+    return end;
+}
+
+void
+Dimm::precharge(unsigned bank_idx, Tick at)
+{
+    banks.at(bank_idx).precharge(at);
+}
+
+bool
+Dimm::anyRowOpen() const
+{
+    for (const auto &b : banks) {
+        if (b.rowOpen())
+            return true;
+    }
+    return false;
+}
+
+void
+Dimm::refresh(Tick at)
+{
+    fbdp_assert(!anyRowOpen(), "refresh with open rows");
+    for (auto &b : banks)
+        b.blockUntil(at + t->tRFC);
+    ++ops.refresh;
+}
+
+} // namespace fbdp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * One DIMM: a rank of logic banks plus the DIMM-wide constraints.
+ *
+ * Cross-bank rules modelled here:
+ *  - tRRD between ACTs to different banks of the DIMM,
+ *  - tWTR from the end of a write data burst to the next RD command.
+ *
+ * The DIMM also keeps the operation counters the power model consumes:
+ * activate/precharge pairs and read/write column accesses.  Under the
+ * close-page policy every ACT is paired with exactly one auto-PRE, so a
+ * single counter covers both (the paper does the same: "their numbers
+ * are almost equal under the close page mode with auto precharge").
+ */
+
+#ifndef FBDP_DRAM_DIMM_HH
+#define FBDP_DRAM_DIMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/dram_timing.hh"
+
+namespace fbdp {
+
+/** Aggregate DRAM operation counts, consumed by the power model. */
+struct DramOpCounts
+{
+    std::uint64_t actPre = 0;  ///< activate/precharge pairs
+    std::uint64_t rdCas = 0;   ///< read column accesses (incl. prefetch)
+    std::uint64_t wrCas = 0;   ///< write column accesses
+    std::uint64_t refresh = 0; ///< auto-refresh commands
+
+    DramOpCounts &
+    operator+=(const DramOpCounts &o)
+    {
+        actPre += o.actPre;
+        rdCas += o.rdCas;
+        wrCas += o.wrCas;
+        refresh += o.refresh;
+        return *this;
+    }
+
+    std::uint64_t cas() const { return rdCas + wrCas; }
+};
+
+/** One DIMM (one rank of logic banks, per the paper's default). */
+class Dimm
+{
+  public:
+    Dimm(const DramTiming *timing, unsigned n_banks);
+
+    unsigned numBanks() const
+    {
+        return static_cast<unsigned>(banks.size());
+    }
+
+    Bank &bank(unsigned i) { return banks.at(i); }
+    const Bank &bank(unsigned i) const { return banks.at(i); }
+
+    /**
+     * Earliest tick an ACT to @p bank_idx may arrive, combining the
+     * bank's own constraints with the DIMM tRRD window.
+     */
+    Tick earliestAct(unsigned bank_idx, Tick not_before) const;
+
+    /** Earliest tick a RD to @p bank_idx may arrive (row must be open). */
+    Tick earliestRead(unsigned bank_idx, Tick not_before) const;
+
+    /** Earliest tick a WR to @p bank_idx may arrive. */
+    Tick earliestWrite(unsigned bank_idx, Tick not_before) const;
+
+    /** Earliest tick a PRE to @p bank_idx may arrive. */
+    Tick earliestPrecharge(unsigned bank_idx, Tick not_before) const;
+
+    /** Apply an ACT arriving at @p at. */
+    void activate(unsigned bank_idx, Tick at, std::uint64_t row);
+
+    /**
+     * Apply a (possibly grouped) read.  @return the end tick of the
+     * last data burst at the device pins.
+     */
+    Tick read(unsigned bank_idx, Tick at, unsigned n_cas, bool auto_pre);
+
+    /** Apply a write. @return the end tick of the write data burst. */
+    Tick write(unsigned bank_idx, Tick at, bool auto_pre);
+
+    /** Apply an explicit precharge (open-page policy only). */
+    void precharge(unsigned bank_idx, Tick at);
+
+    /** Any bank with an open row? (Refresh needs all precharged.) */
+    bool anyRowOpen() const;
+
+    /**
+     * Apply an auto-refresh arriving at @p at: every bank is blocked
+     * for tRFC.  All rows must be closed.
+     */
+    void refresh(Tick at);
+
+    const DramOpCounts &counts() const { return ops; }
+    void resetCounts() { ops = DramOpCounts{}; }
+
+  private:
+    const DramTiming *t;
+    std::vector<Bank> banks;
+
+    Tick lastActAt = 0;
+    bool anyActYet = false;
+    Tick wrDataEnd = 0;
+
+    DramOpCounts ops;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_DRAM_DIMM_HH

@@ -1,0 +1,31 @@
+#include "dram/dram_timing.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+DramTiming
+DramTiming::forDataRate(unsigned mts)
+{
+    DramTiming t;
+    switch (mts) {
+      case 533:
+        t.memCycle = 3750;
+        break;
+      case 667:
+        t.memCycle = 3000;
+        break;
+      case 800:
+        t.memCycle = 2500;
+        break;
+      default:
+        fatal("unsupported DDR2 data rate %u MT/s (use 533/667/800)",
+              mts);
+    }
+    // Eight transfers of 16 bytes across the ganged pair == 64 bytes in
+    // two memory cycles.
+    t.burst = 2 * t.memCycle;
+    return t;
+}
+
+} // namespace fbdp

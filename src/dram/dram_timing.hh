@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DDR2 device timing parameters.
+ *
+ * The values mirror Table 2 of the paper exactly (all given in
+ * nanoseconds there; stored here in ticks).  The memory-clock period is
+ * derived from the data rate (DDR: two transfers per clock), and the
+ * data-burst duration is derived from the logic-channel width: two
+ * physical 64-bit channels ganged in lockstep move a 64-byte block in
+ * two memory cycles.
+ */
+
+#ifndef FBDP_DRAM_DRAM_TIMING_HH
+#define FBDP_DRAM_DRAM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** DRAM device and bus timing, all in ticks (ps). */
+struct DramTiming
+{
+    /** PRE to ACT to the same bank. */
+    Tick tRP = nsToTicks(15);
+    /** ACT cmd to RD/WR cmd to the same bank. */
+    Tick tRCD = nsToTicks(15);
+    /** RD cmd to first read data (CAS latency). */
+    Tick tCL = nsToTicks(15);
+    /** ACT cmd to ACT cmd to the same bank. */
+    Tick tRC = nsToTicks(54);
+    /** ACT to ACT (or PRE to PRE) across banks of one DIMM. */
+    Tick tRRD = nsToTicks(9);
+    /** RD cmd to PRE cmd (read to precharge). */
+    Tick tRPD = nsToTicks(9);
+    /** End of write data to the next RD cmd (same DIMM). */
+    Tick tWTR = nsToTicks(9);
+    /** ACT cmd to PRE cmd for reads (row-active minimum). */
+    Tick tRAS = nsToTicks(39);
+    /** WR cmd to the first write-data bus cycle. */
+    Tick tWL = nsToTicks(12);
+    /** WR cmd to PRE cmd. */
+    Tick tWPD = nsToTicks(36);
+
+    /** Average periodic refresh interval (DDR2: 7.8 us). */
+    Tick tREFI = nsToTicks(7800);
+    /** Refresh cycle time (DDR2 1 Gb class: 127.5 ns). */
+    Tick tRFC = nsToTicks(127.5);
+
+    /** Memory clock period; 3000 ps for DDR2-667. */
+    Tick memCycle = 3000;
+    /**
+     * Data-transfer time of one 64-byte block on the (ganged) data
+     * path: two memory cycles.
+     */
+    Tick burst = 6000;
+
+    /**
+     * Minimum spacing between consecutive column accesses of one
+     * prefetch group; the transfers are fully pipelined back to back,
+     * so the gap equals the burst duration.
+     */
+    Tick casGap() const { return burst; }
+
+    /** Derive clock-dependent fields from a data rate in MT/s. */
+    static DramTiming forDataRate(unsigned mts);
+};
+
+} // namespace fbdp
+
+#endif // FBDP_DRAM_DRAM_TIMING_HH

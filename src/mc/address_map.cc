@@ -1,0 +1,93 @@
+#include "mc/address_map.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+const char *
+interleaveName(Interleave i)
+{
+    switch (i) {
+      case Interleave::Cacheline:
+        return "cacheline";
+      case Interleave::MultiCacheline:
+        return "multi-cacheline";
+      case Interleave::Page:
+        return "page";
+    }
+    return "?";
+}
+
+AddressMap::AddressMap(const AddressMapConfig &cfg)
+    : c(cfg)
+{
+    fbdp_assert(c.channels >= 1 && c.dimmsPerChannel >= 1
+                && c.banksPerDimm >= 1, "degenerate DRAM topology");
+    fbdp_assert(c.rowBytes % lineBytes == 0, "row not line-aligned");
+    fbdp_assert(c.regionLines >= 1, "region must hold >= 1 line");
+    fbdp_assert(linesPerRow() % c.regionLines == 0,
+                "region size %u must divide lines-per-row %u",
+                c.regionLines, linesPerRow());
+}
+
+DramCoord
+AddressMap::map(Addr addr) const
+{
+    const std::uint64_t line = lineIndex(addr);
+    DramCoord out;
+
+    switch (c.scheme) {
+      case Interleave::Cacheline: {
+        std::uint64_t rest = line;
+        out.channel = static_cast<unsigned>(rest % c.channels);
+        rest /= c.channels;
+        out.dimm = static_cast<unsigned>(rest % c.dimmsPerChannel);
+        rest /= c.dimmsPerChannel;
+        out.bank = static_cast<unsigned>(rest % c.banksPerDimm);
+        rest /= c.banksPerDimm;
+        out.row = rest / linesPerRow();
+        out.colLine = static_cast<unsigned>(rest % linesPerRow());
+        // With one-line regions the region is the line itself.
+        out.regionBase = lineAlign(addr);
+        break;
+      }
+      case Interleave::MultiCacheline: {
+        const unsigned k = c.regionLines;
+        std::uint64_t group = line / k;
+        const unsigned off = static_cast<unsigned>(line % k);
+        out.regionBase = static_cast<Addr>(group) * k * lineBytes;
+        std::uint64_t rest = group;
+        out.channel = static_cast<unsigned>(rest % c.channels);
+        rest /= c.channels;
+        out.dimm = static_cast<unsigned>(rest % c.dimmsPerChannel);
+        rest /= c.dimmsPerChannel;
+        out.bank = static_cast<unsigned>(rest % c.banksPerDimm);
+        rest /= c.banksPerDimm;
+        const unsigned groups_per_row = linesPerRow() / k;
+        out.row = rest / groups_per_row;
+        out.colLine =
+            static_cast<unsigned>(rest % groups_per_row) * k + off;
+        break;
+      }
+      case Interleave::Page: {
+        std::uint64_t page = line / linesPerRow();
+        out.colLine = static_cast<unsigned>(line % linesPerRow());
+        std::uint64_t rest = page;
+        out.channel = static_cast<unsigned>(rest % c.channels);
+        rest /= c.channels;
+        out.dimm = static_cast<unsigned>(rest % c.dimmsPerChannel);
+        rest /= c.dimmsPerChannel;
+        out.bank = static_cast<unsigned>(rest % c.banksPerDimm);
+        rest /= c.banksPerDimm;
+        out.row = rest;
+        // Aligned K-line window within the page (the paper prefetches
+        // the neighbours inside the same page).
+        out.regionBase =
+            (line / c.regionLines) * c.regionLines * lineBytes;
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace fbdp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DRAM interleaving: how physical addresses are laid out onto logic
+ * channels, DIMMs, banks, rows and columns.
+ *
+ * Three schemes from the paper (Section 3.2, Figure 2):
+ *  - Cacheline interleaving: consecutive 64 B lines round-robin across
+ *    channels, then DIMMs, then banks — maximum access concurrency.
+ *  - Multi-cacheline interleaving: groups of K consecutive lines (the
+ *    prefetch *regions*) round-robin the same way; the K lines of one
+ *    region share a bank and a DRAM row, so a region fetch needs a
+ *    single activation.  This is the scheme AMB prefetching requires.
+ *  - Page interleaving: whole DRAM rows round-robin; exploits row
+ *    locality with the open-page policy.
+ */
+
+#ifndef FBDP_MC_ADDRESS_MAP_HH
+#define FBDP_MC_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** Interleaving granularity selector. */
+enum class Interleave {
+    Cacheline,
+    MultiCacheline,
+    Page,
+};
+
+/** Printable name of an interleaving scheme. */
+const char *interleaveName(Interleave i);
+
+/** Where one cacheline lives in the DRAM topology. */
+struct DramCoord
+{
+    unsigned channel = 0;   ///< logic channel
+    unsigned dimm = 0;      ///< DIMM within the channel
+    unsigned bank = 0;      ///< logic bank within the DIMM
+    std::uint64_t row = 0;  ///< DRAM row (page)
+    unsigned colLine = 0;   ///< line index within the row
+    Addr regionBase = 0;    ///< byte base of the K-line prefetch region
+
+    bool
+    sameBank(const DramCoord &o) const
+    {
+        return channel == o.channel && dimm == o.dimm && bank == o.bank;
+    }
+
+    bool
+    samePage(const DramCoord &o) const
+    {
+        return sameBank(o) && row == o.row;
+    }
+};
+
+/** Configuration of an AddressMap. */
+struct AddressMapConfig
+{
+    unsigned channels = 2;        ///< logic channels
+    unsigned dimmsPerChannel = 4;
+    unsigned banksPerDimm = 4;
+    unsigned rowBytes = 8192;     ///< DRAM page size of a logic bank
+    unsigned regionLines = 4;     ///< K, the prefetch-region size
+    Interleave scheme = Interleave::Cacheline;
+};
+
+/** Maps physical line addresses to DRAM coordinates. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const AddressMapConfig &cfg);
+
+    /** Map the line containing byte address @p addr. */
+    DramCoord map(Addr addr) const;
+
+    unsigned channels() const { return c.channels; }
+    unsigned dimmsPerChannel() const { return c.dimmsPerChannel; }
+    unsigned banksPerDimm() const { return c.banksPerDimm; }
+    unsigned regionLines() const { return c.regionLines; }
+    unsigned linesPerRow() const { return c.rowBytes / lineBytes; }
+    Interleave scheme() const { return c.scheme; }
+
+    const AddressMapConfig &config() const { return c; }
+
+  private:
+    AddressMapConfig c;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_MC_ADDRESS_MAP_HH

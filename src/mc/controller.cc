@@ -1,0 +1,617 @@
+#include "mc/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+MemController::MemController(std::string name, EventQueue *event_queue,
+                             const ControllerConfig &config)
+    : _name(std::move(name)),
+      eq(event_queue),
+      cfg(config),
+      cmdLink(cfg.timing.memCycle, cfg.fbd ? 3u : 1u),
+      wakeEvent([this] { wake(); }),
+      completionEvent([this] { completionFire(); }, Event::prioData)
+{
+    fbdp_assert(cfg.nDimms >= 1, "%s: no DIMMs", _name.c_str());
+    dimms.reserve(cfg.nDimms);
+    for (unsigned i = 0; i < cfg.nDimms; ++i)
+        dimms.emplace_back(&cfg.timing, cfg.banksPerDimm);
+    if (cfg.fbd)
+        dimmBus.resize(cfg.nDimms);
+    if (cfg.apEnable) {
+        fbdp_assert(cfg.fbd, "AMB prefetching requires FB-DIMM");
+        table = std::make_unique<PrefetchTable>(
+            cfg.nDimms, cfg.ambEntries, cfg.ambWays);
+    }
+    if (cfg.mcPrefetch) {
+        fbdp_assert(!cfg.apEnable,
+                    "mcPrefetch and apEnable are exclusive");
+        // One pseudo-DIMM: the buffer sits at the controller.
+        mcBuf = std::make_unique<PrefetchTable>(1, cfg.mcEntries,
+                                                cfg.mcWays);
+    }
+    if (cfg.refreshEnable) {
+        refreshPending.assign(cfg.nDimms, false);
+        nextRefreshAt.resize(cfg.nDimms);
+        // Stagger the refresh schedule across DIMMs.
+        for (unsigned i = 0; i < cfg.nDimms; ++i)
+            nextRefreshAt[i] = cfg.timing.tREFI * (i + 1)
+                / cfg.nDimms;
+    }
+}
+
+void
+MemController::serviceRefresh(Tick now)
+{
+    if (!cfg.refreshEnable)
+        return;
+    for (unsigned d = 0; d < cfg.nDimms; ++d) {
+        if (now < nextRefreshAt[d])
+            continue;
+        if (dimms[d].anyRowOpen()) {
+            // Block further activates until the rows drain.  Under
+            // close page every open row belongs to a transaction
+            // whose column access auto-precharges it; under open page
+            // idle rows are closed here (precharge-all), and
+            // transactions re-derive their phase afterwards.
+            refreshPending[d] = true;
+            if (cfg.openPage) {
+                for (unsigned b = 0; b < cfg.banksPerDimm; ++b) {
+                    Bank &bank = dimms[d].bank(b);
+                    if (bank.rowOpen()
+                        && bank.preAllowedAt() <= now + cfg.cmdDelay)
+                        dimms[d].precharge(b, now + cfg.cmdDelay);
+                }
+            }
+            if (dimms[d].anyRowOpen())
+                continue;
+        }
+        // Catch up intervals that elapsed while the channel was idle:
+        // they still consumed refresh energy, but one blocking window
+        // covers them all.
+        dimms[d].refresh(now + cfg.cmdDelay);
+        nextRefreshAt[d] += cfg.timing.tREFI;
+        while (nextRefreshAt[d] <= now) {
+            dimms[d].refresh(now + cfg.cmdDelay);
+            nextRefreshAt[d] += cfg.timing.tREFI;
+        }
+        refreshPending[d] = false;
+    }
+}
+
+Tick
+MemController::reserveNorthbound(Tick earliest, unsigned d)
+{
+    if (lastNbDimm >= 0 && static_cast<unsigned>(lastNbDimm) != d
+        && !cfg.vrl && northbound.nextFree(earliest) > earliest) {
+        // Fixed-latency mode: when transfers pack back to back and
+        // the data source changes, the chain resynchronises, costing
+        // one frame of bubble.  An idle link pays nothing.
+        earliest += cfg.timing.memCycle;
+    }
+    lastNbDimm = static_cast<int>(d);
+    return northbound.reserve(earliest, cfg.timing.burst);
+}
+
+Tick
+MemController::chainDelay(unsigned d) const
+{
+    if (!cfg.fbd)
+        return 0;
+    unsigned hops = cfg.vrl ? d + 1 : cfg.nDimms;
+    return static_cast<Tick>(hops) * cfg.ambHop;
+}
+
+void
+MemController::push(TransPtr t)
+{
+    const Tick now = eq->now();
+    t->arrivedAtMc = now;
+    t->earliestIssue = now + cfg.ctrlOverhead;
+    t->mcSeq = nextMcSeq++;
+
+    if (t->isRead()) {
+        ++nReads;
+    } else {
+        ++nWrites;
+    }
+
+    if (cfg.apEnable) {
+        const unsigned d = t->coord.dimm;
+        if (t->isRead()) {
+            const bool use_ap = !t->swPrefetch || cfg.apOnSwPrefetch;
+            if (use_ap) {
+                table->countRead();
+                if (table->peek(d, t->lineAddr)) {
+                    t->phase = TransPhase::AmbHit;
+                } else {
+                    // Region fetch: make the K-1 neighbours visible in
+                    // the tag mirror immediately so later reads to the
+                    // region coalesce onto this fetch.
+                    t->phase = TransPhase::NeedActivate;
+                    t->groupLines = cfg.regionLines;
+                    table->insertGroup(d, t->coord.regionBase,
+                                       cfg.regionLines, t->lineAddr);
+                }
+            } else {
+                t->phase = TransPhase::NeedActivate;
+            }
+        } else {
+            // Writes invalidate any stale prefetched copy.
+            table->invalidate(d, t->lineAddr);
+            t->phase = TransPhase::NeedActivate;
+        }
+    } else if (cfg.mcPrefetch) {
+        if (t->isRead()) {
+            mcBuf->countRead();
+            if (mcBuf->peek(0, t->lineAddr)) {
+                t->phase = TransPhase::McHit;
+            } else {
+                t->phase = TransPhase::NeedActivate;
+                t->groupLines = cfg.regionLines;
+                mcBuf->insertGroup(0, t->coord.regionBase,
+                                   cfg.regionLines, t->lineAddr);
+            }
+        } else {
+            mcBuf->invalidate(0, t->lineAddr);
+            t->phase = TransPhase::NeedActivate;
+        }
+    } else {
+        t->phase = TransPhase::NeedActivate;
+    }
+
+    overflow.push_back(std::move(t));
+    if (!wakeEvent.scheduled()) {
+        Tick cycle = cfg.timing.memCycle;
+        Tick next = ((now + cycle - 1) / cycle) * cycle;
+        scheduleWake(next);
+    }
+}
+
+void
+MemController::scheduleWake(Tick at)
+{
+    eq->schedule(&wakeEvent, std::max(at, eq->now()));
+}
+
+void
+MemController::refillWindow()
+{
+    while (!overflow.empty() && window.size() < cfg.queueSize) {
+        window.push_back(std::move(overflow.front()));
+        overflow.pop_front();
+    }
+}
+
+void
+MemController::wake()
+{
+    const Tick now = eq->now();
+    cmdLink.retireBefore(now);
+    serviceRefresh(now);
+    refillWindow();
+
+    // Write-drain hysteresis.
+    unsigned n_writes = 0;
+    for (const auto &t : window)
+        n_writes += t->isRead() ? 0 : 1;
+    if (!draining && n_writes >= cfg.writeDrainHigh)
+        draining = true;
+    if (draining && n_writes <= cfg.writeDrainLow)
+        draining = false;
+
+    issueCycle(now);
+
+    if (!window.empty() || !overflow.empty())
+        scheduleWake(now + cfg.timing.memCycle);
+}
+
+unsigned
+MemController::slotsFreeNow(Tick now)
+{
+    return cmdLink.cmdSlotsFree(now);
+}
+
+void
+MemController::issueCycle(Tick now)
+{
+    // Build the priority-ordered candidate list: hit-first (AMB hits,
+    // then open-row hits, then in-progress CAS, then the rest FCFS);
+    // reads before writes unless draining.
+    std::vector<Transaction *> cands;
+    cands.reserve(window.size());
+    for (auto &t : window) {
+        if (t->phase == TransPhase::WaitData
+            || t->phase == TransPhase::Complete)
+            continue;
+        if (t->earliestIssue > now)
+            continue;
+        cands.push_back(t.get());
+    }
+
+    auto bucket = [this](const Transaction *t) -> int {
+        // Lower bucket == higher priority.
+        const bool is_read = t->isRead();
+        int b;
+        if (t->phase == TransPhase::AmbHit
+            || t->phase == TransPhase::McHit)
+            b = 0;
+        else if (t->phase == TransPhase::NeedCas)
+            b = 1;  // row already open: finish it (hit-first)
+        else
+            b = 2;
+        if (draining != !is_read) {
+            // Deprioritised class: reads while draining, writes
+            // otherwise.
+            b += 3;
+        }
+        return b;
+    };
+
+    std::sort(cands.begin(), cands.end(),
+              [&](const Transaction *a, const Transaction *b) {
+                  int ba = bucket(a), bb = bucket(b);
+                  if (ba != bb)
+                      return ba < bb;
+                  return a->mcSeq < b->mcSeq;
+              });
+
+    for (Transaction *t : cands) {
+        if (slotsFreeNow(now) == 0)
+            break;
+        tryIssue(t, now);
+    }
+}
+
+bool
+MemController::tryIssue(Transaction *t, Tick now)
+{
+    if (cfg.openPage && t->phase != TransPhase::AmbHit
+        && t->phase != TransPhase::McHit)
+        recomputeOpenPagePhase(t);
+
+    switch (t->phase) {
+      case TransPhase::AmbHit:
+        return issueAmbHit(t, now);
+      case TransPhase::McHit:
+        return issueMcHit(t, now);
+      case TransPhase::NeedPrecharge:
+        return issuePrecharge(t, now);
+      case TransPhase::NeedActivate:
+        return issueActivate(t, now);
+      case TransPhase::NeedCas:
+        return t->isRead() ? issueRead(t, now) : issueWrite(t, now);
+      default:
+        return false;
+    }
+}
+
+void
+MemController::recomputeOpenPagePhase(Transaction *t)
+{
+    const Bank &b = dimms[t->coord.dimm].bank(t->coord.bank);
+    if (b.rowOpen()) {
+        t->phase = (b.openRow() == t->coord.row)
+            ? TransPhase::NeedCas
+            : TransPhase::NeedPrecharge;
+    } else {
+        t->phase = TransPhase::NeedActivate;
+    }
+}
+
+void
+MemController::convertHitToMiss(Transaction *t)
+{
+    ++nHitConversions;
+    t->phase = TransPhase::NeedActivate;
+    t->groupLines = cfg.regionLines;
+    table->insertGroup(t->coord.dimm, t->coord.regionBase,
+                       cfg.regionLines, t->lineAddr);
+}
+
+bool
+MemController::issueAmbHit(Transaction *t, Tick now)
+{
+    const unsigned d = t->coord.dimm;
+    AmbCache::Line *line = table->peek(d, t->lineAddr);
+    if (!line) {
+        // The prefetched copy was evicted before we fetched it.
+        convertHitToMiss(t);
+        return false;
+    }
+    if (line->readyAt == AmbCache::fillPending) {
+        // The producing region fetch has not issued its CAS yet.
+        return false;
+    }
+
+    cmdLink.useCmdSlot(now);
+    const Tick arrive = now + cfg.cmdDelay;
+    Tick nb_earliest = std::max(arrive, line->readyAt);
+    if (cfg.apFullLatency) {
+        // APFL (Fig. 9): same idle latency as a DRAM access, but no
+        // bank activity.
+        nb_earliest = std::max(arrive + cfg.timing.tRCD + cfg.timing.tCL,
+                               line->readyAt);
+    }
+    const Tick nb_start = reserveNorthbound(nb_earliest, d);
+    const Tick ready = nb_start + cfg.timing.burst + chainDelay(d);
+
+    ++nAmbHits;
+    table->countHit();
+    t->phase = TransPhase::WaitData;
+    finish(t, ready);
+    return true;
+}
+
+bool
+MemController::issueMcHit(Transaction *t, Tick now)
+{
+    AmbCache::Line *line = mcBuf->peek(0, t->lineAddr);
+    if (!line) {
+        // Evicted before service: refetch the region.
+        ++nHitConversions;
+        t->phase = TransPhase::NeedActivate;
+        t->groupLines = cfg.regionLines;
+        mcBuf->insertGroup(0, t->coord.regionBase, cfg.regionLines,
+                           t->lineAddr);
+        return false;
+    }
+    if (line->readyAt == AmbCache::fillPending)
+        return false;
+
+    // The data is already at the controller: no command, no link.
+    const Tick ready = std::max(now, line->readyAt);
+    ++nMcHits;
+    mcBuf->countHit();
+    t->phase = TransPhase::WaitData;
+    finish(t, ready);
+    return true;
+}
+
+bool
+MemController::issuePrecharge(Transaction *t, Tick now)
+{
+    const Tick arrive = now + cfg.cmdDelay;
+    Dimm &dimm = dimms[t->coord.dimm];
+    if (dimm.earliestPrecharge(t->coord.bank, arrive) > arrive)
+        return false;
+    cmdLink.useCmdSlot(now);
+    dimm.precharge(t->coord.bank, arrive);
+    t->phase = TransPhase::NeedActivate;
+    return true;
+}
+
+bool
+MemController::issueActivate(Transaction *t, Tick now)
+{
+    const Tick arrive = now + cfg.cmdDelay;
+    Dimm &dimm = dimms[t->coord.dimm];
+    // An overdue refresh owns the DIMM before any new activation.
+    if (cfg.refreshEnable && refreshPending[t->coord.dimm])
+        return false;
+    // Another transaction may have activated this bank and not yet
+    // issued its column access; its row still owns the bank (the
+    // auto-precharge is bound to the CAS).  Wait for it.
+    if (dimm.bank(t->coord.bank).rowOpen())
+        return false;
+    if (dimm.earliestAct(t->coord.bank, arrive) > arrive)
+        return false;
+    cmdLink.useCmdSlot(now);
+    dimm.activate(t->coord.bank, arrive, t->coord.row);
+    t->phase = TransPhase::NeedCas;
+    return true;
+}
+
+bool
+MemController::issueRead(Transaction *t, Tick now)
+{
+    const Tick arrive = now + cfg.cmdDelay;
+    const unsigned d = t->coord.dimm;
+    Dimm &dimm = dimms[d];
+    if (dimm.earliestRead(t->coord.bank, arrive) > arrive)
+        return false;
+    if (!cfg.fbd && arrive < sharedWrDataEnd + cfg.timing.memCycle) {
+        // Conventional DDR2: one data bus for reads and writes, so a
+        // bus-turnaround bubble separates a write burst from the next
+        // read channel-wide.  (The full tWTR applies per DIMM; the
+        // FB-DIMM northbound link never pays either.)
+        return false;
+    }
+
+    const unsigned n = t->groupLines;
+    // Open-page rows close early when a refresh is waiting.
+    const bool auto_pre = !cfg.openPage
+        || (cfg.refreshEnable && refreshPending[d]);
+    const DramTiming &tm = cfg.timing;
+
+    cmdLink.useCmdSlot(now);
+    dimm.read(t->coord.bank, arrive, n, auto_pre);
+
+    BusTracker &data_bus = cfg.fbd ? dimmBus[d] : sharedBus;
+
+    // Column accesses in demanded-line-first, wrap-around order.
+    const unsigned k = (cfg.apEnable || cfg.mcPrefetch)
+        ? cfg.regionLines
+        : 1;
+    const unsigned demand_off = static_cast<unsigned>(
+        (t->lineAddr - t->coord.regionBase) / lineBytes);
+
+    for (unsigned i = 0; i < n; ++i) {
+        const Tick cas = arrive + static_cast<Tick>(i) * tm.casGap();
+        const Tick d_start = data_bus.reserve(cas + tm.tCL, tm.burst);
+        if (i == 0) {
+            // The demanded line: forwarded straight to the channel.
+            const Tick nb_start = cfg.fbd
+                ? reserveNorthbound(d_start, d)
+                : d_start;
+            const Tick ready = nb_start + tm.burst + chainDelay(d);
+            t->phase = TransPhase::WaitData;
+            finish(t, ready);
+        } else {
+            const unsigned off = (demand_off + i) % k;
+            const Addr la = t->coord.regionBase
+                + static_cast<Addr>(off) * lineBytes;
+            if (cfg.apEnable) {
+                // AMB prefetching: fills stay behind the AMB and
+                // never touch the channel.
+                table->resolveFill(d, la, d_start + tm.burst);
+            } else {
+                // Controller-level prefetching: the neighbours must
+                // cross the channel into the MC buffer, consuming
+                // the bandwidth AMB prefetching preserves.
+                Tick ready;
+                if (cfg.fbd) {
+                    const Tick nb = reserveNorthbound(d_start, d);
+                    ready = nb + tm.burst + chainDelay(d);
+                } else {
+                    ready = d_start + tm.burst;
+                }
+                nChannelBytes += lineBytes;
+                mcBuf->resolveFill(0, la, ready);
+            }
+        }
+    }
+    return true;
+}
+
+bool
+MemController::issueWrite(Transaction *t, Tick now)
+{
+    const Tick arrive = now + cfg.cmdDelay;
+    const unsigned d = t->coord.dimm;
+    Dimm &dimm = dimms[d];
+    if (dimm.earliestWrite(t->coord.bank, arrive) > arrive)
+        return false;
+
+    const DramTiming &tm = cfg.timing;
+    const bool auto_pre = !cfg.openPage
+        || (cfg.refreshEnable && refreshPending[d]);
+
+    cmdLink.useCmdSlot(now);
+
+    Tick wr_cas = arrive;
+    if (cfg.fbd) {
+        // The 64-byte payload needs four southbound data frames
+        // (ganged pair: 16 bytes per frame); the DRAM write burst may
+        // start only once the data has reached the AMB.
+        const unsigned n_frames = 4;
+        const Tick f_start = cmdLink.reserveDataFrames(now, n_frames);
+        const Tick data_at_amb = f_start
+            + static_cast<Tick>(n_frames) * tm.memCycle + cfg.cmdDelay;
+        if (data_at_amb > tm.tWL)
+            wr_cas = std::max(arrive, data_at_amb - tm.tWL);
+    }
+
+    const Tick end = dimm.write(t->coord.bank, wr_cas, auto_pre);
+    BusTracker &data_bus = cfg.fbd ? dimmBus[d] : sharedBus;
+    data_bus.reserve(wr_cas + tm.tWL, tm.burst);
+    if (!cfg.fbd)
+        sharedWrDataEnd = std::max(sharedWrDataEnd, end);
+
+    t->phase = TransPhase::WaitData;
+    finish(t, end);
+    return true;
+}
+
+void
+MemController::finish(Transaction *t, Tick ready)
+{
+    t->completedAt = ready;
+    nChannelBytes += lineBytes;
+
+    // Move ownership from the window into the completion map.
+    for (auto it = window.begin(); it != window.end(); ++it) {
+        if (it->get() == t) {
+            completions.emplace(ready, std::move(*it));
+            window.erase(it);
+            break;
+        }
+    }
+
+    if (!completionEvent.scheduled()
+        || completionEvent.when() > completions.begin()->first) {
+        eq->schedule(&completionEvent, completions.begin()->first);
+    }
+}
+
+void
+MemController::completionFire()
+{
+    const Tick now = eq->now();
+    while (!completions.empty() && completions.begin()->first <= now) {
+        TransPtr t = std::move(completions.begin()->second);
+        completions.erase(completions.begin());
+        if (t->isRead()) {
+            ++nReadsDone;
+            readLatTotal +=
+                static_cast<double>(t->completedAt - t->arrivedAtMc);
+            latHist.sample(
+                ticksToNs(t->completedAt - t->arrivedAtMc));
+        }
+        if (t->onComplete)
+            t->onComplete(t->completedAt);
+    }
+    if (!completions.empty())
+        eq->schedule(&completionEvent, completions.begin()->first);
+}
+
+double
+MemController::avgReadLatencyNs() const
+{
+    if (!nReadsDone)
+        return 0.0;
+    return ticksToNs(static_cast<Tick>(
+        readLatTotal / static_cast<double>(nReadsDone)));
+}
+
+double
+MemController::readLatencyPercentileNs(double p) const
+{
+    const std::uint64_t total = latHist.samples();
+    if (total == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total));
+    std::uint64_t seen = latHist.underflows();
+    const double width = 1000.0 / latHist.numBuckets();
+    for (unsigned i = 0; i < latHist.numBuckets(); ++i) {
+        seen += latHist.bucket(i);
+        if (seen >= target)
+            return width * (i + 1);
+    }
+    return 1000.0;  // in the overflow tail
+}
+
+DramOpCounts
+MemController::dramOps() const
+{
+    DramOpCounts total;
+    for (const auto &d : dimms)
+        total += d.counts();
+    return total;
+}
+
+void
+MemController::resetStats()
+{
+    nReads = 0;
+    nWrites = 0;
+    nReadsDone = 0;
+    nAmbHits = 0;
+    nChannelBytes = 0;
+    nMcHits = 0;
+    nHitConversions = 0;
+    readLatTotal = 0.0;
+    latHist.reset();
+    for (auto &d : dimms)
+        d.resetCounts();
+    if (table)
+        table->resetStats();
+    if (mcBuf)
+        mcBuf->resetStats();
+}
+
+} // namespace fbdp

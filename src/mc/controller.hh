@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The memory controller of one logic channel.
+ *
+ * One controller instance drives either
+ *  - a conventional DDR2 channel (shared command bus, one command per
+ *    memory cycle, shared data bus), or
+ *  - an FB-DIMM channel (southbound command/write link with three
+ *    command slots per frame, northbound read-data link, per-DIMM DDR2
+ *    buses behind the AMBs, daisy-chain latency, optional VRL),
+ * selected by ControllerConfig::fbd.
+ *
+ * Scheduling follows the paper: a 64-entry reorder window, the
+ * hit-first policy (requests that can be served without opening a row —
+ * AMB-cache hits and open-row hits — go first), and read priority over
+ * writes until the number of queued writes crosses a drain threshold.
+ *
+ * With AMB prefetching enabled (FB-DIMM only) a demand read that misses
+ * the prefetch information table becomes a K-line region fetch: one
+ * activation followed by K pipelined column accesses on the DIMM-level
+ * bus; the demanded line is forwarded on the northbound link first and
+ * the K-1 neighbours fill the AMB cache without touching the channel.
+ */
+
+#ifndef FBDP_MC_CONTROLLER_HH
+#define FBDP_MC_CONTROLLER_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include <algorithm>
+#include "dram/dimm.hh"
+#include "dram/dram_timing.hh"
+#include "mc/link.hh"
+#include "mc/transaction.hh"
+#include "prefetch/prefetch_table.hh"
+#include "sim/event_queue.hh"
+
+namespace fbdp {
+
+/** Static configuration of one memory controller / logic channel. */
+struct ControllerConfig
+{
+    bool fbd = true;             ///< FB-DIMM (vs conventional DDR2)
+    unsigned nDimms = 4;
+    unsigned banksPerDimm = 4;
+    DramTiming timing = DramTiming::forDataRate(667);
+
+    Tick cmdDelay = nsToTicks(3);      ///< channel command delay
+    Tick ctrlOverhead = nsToTicks(12); ///< controller overhead
+    Tick ambHop = nsToTicks(3);        ///< per-AMB pass-through delay
+    bool vrl = false;                  ///< variable read latency
+
+    bool openPage = false;       ///< open-page policy (page interleave)
+
+    unsigned queueSize = 64;     ///< reorder-window entries
+    unsigned writeDrainHigh = 16;
+    unsigned writeDrainLow = 4;
+
+    /** Model DDR2 auto-refresh (tREFI / tRFC). */
+    bool refreshEnable = true;
+
+    // --- AMB prefetching ---
+    bool apEnable = false;
+    unsigned regionLines = 4;    ///< K
+    unsigned ambEntries = 64;
+    unsigned ambWays = 0;        ///< 0 = fully associative
+    bool apFullLatency = false;  ///< APFL analysis mode (Fig. 9)
+    bool apOnSwPrefetch = true;  ///< sw-prefetch reads use the AP path
+
+    // --- controller-level prefetching (the comparison class the
+    //     paper discusses in Section 6, after Lin/Reinhardt/Burger:
+    //     region fetches ride the *channel* into a buffer at the
+    //     memory controller) ---
+    bool mcPrefetch = false;
+    unsigned mcEntries = 256;    ///< MC prefetch-buffer lines
+    unsigned mcWays = 0;
+};
+
+/** One logic-channel memory controller with its DRAM devices. */
+class MemController
+{
+  public:
+    MemController(std::string name, EventQueue *event_queue,
+                  const ControllerConfig &cfg);
+
+    /** Hand a transaction to the controller at the current tick. */
+    void push(TransPtr t);
+
+    /** Total requests currently inside the controller. */
+    size_t occupancy() const
+    {
+        return window.size() + overflow.size() + completions.size();
+    }
+
+    // --- statistics ---
+    std::uint64_t reads() const { return nReads; }
+    std::uint64_t writes() const { return nWrites; }
+    std::uint64_t channelBytes() const { return nChannelBytes; }
+    double avgReadLatencyNs() const;
+    std::uint64_t readLatSamples() const { return nReadsDone; }
+
+    /** Read-latency distribution (2 ns buckets up to 1 µs). */
+    const stats::Histogram &readLatencyHist() const
+    {
+        return latHist;
+    }
+
+    /** Latency percentile in ns (e.g. 0.95) from the histogram. */
+    double readLatencyPercentileNs(double p) const;
+
+    /** Aggregate DRAM operation counts across the channel's DIMMs. */
+    DramOpCounts dramOps() const;
+
+    const PrefetchTable *prefetchTable() const { return table.get(); }
+
+    /** MC-buffer mirror when mcPrefetch is enabled. */
+    const PrefetchTable *mcBuffer() const { return mcBuf.get(); }
+
+    std::uint64_t ambHits() const { return nAmbHits; }
+    std::uint64_t mcHits() const { return nMcHits; }
+
+    /** AMB hits that lost their line to eviction before the fetch. */
+    std::uint64_t hitConversions() const { return nHitConversions; }
+
+    /** Clear measurement counters (not timing state). */
+    void resetStats();
+
+    const ControllerConfig &config() const { return cfg; }
+    const std::string &name() const { return _name; }
+
+  private:
+    /** Return-trip AMB chain delay for data from DIMM @p d. */
+    Tick chainDelay(unsigned d) const;
+
+    void wake();
+    void scheduleWake(Tick at);
+    void refillWindow();
+    void issueCycle(Tick now);
+
+    /** Try to issue the next command of @p t at cycle tick @p now.
+     *  @return true iff a command slot was consumed. */
+    bool tryIssue(Transaction *t, Tick now);
+
+    bool issueAmbHit(Transaction *t, Tick now);
+    bool issueMcHit(Transaction *t, Tick now);
+    bool issueActivate(Transaction *t, Tick now);
+    bool issuePrecharge(Transaction *t, Tick now);
+    bool issueRead(Transaction *t, Tick now);
+    bool issueWrite(Transaction *t, Tick now);
+
+    /** Open-page: re-derive the phase from live bank state. */
+    void recomputeOpenPagePhase(Transaction *t);
+
+    /** AMB-hit line disappeared: fall back to a region fetch. */
+    void convertHitToMiss(Transaction *t);
+
+    /** Retire @p t at @p ready: stats, callback, storage cleanup. */
+    void finish(Transaction *t, Tick ready);
+
+    void completionFire();
+    unsigned slotsFreeNow(Tick now);
+
+    std::string _name;
+    EventQueue *eq;
+    ControllerConfig cfg;
+
+    std::vector<Dimm> dimms;
+
+    // Interconnect resources.
+    CommandLink cmdLink;                 ///< southbound / DDR2 cmd bus
+    BusTracker northbound;               ///< FB-DIMM read-return link
+    std::vector<BusTracker> dimmBus;     ///< per-DIMM DDR2 buses (FBD)
+    BusTracker sharedBus;                ///< DDR2 baseline data bus
+
+    std::unique_ptr<PrefetchTable> table;
+    std::unique_ptr<PrefetchTable> mcBuf;  ///< one pseudo-DIMM
+
+    std::list<TransPtr> window;          ///< reorder window
+    std::list<TransPtr> overflow;        ///< waiting to enter window
+    std::multimap<Tick, TransPtr> completions;
+
+    bool draining = false;
+    std::uint64_t nextMcSeq = 0;
+
+    /** DDR2 baseline only: end of the last write burst on the shared
+     *  data bus, for channel-wide write-to-read turnaround. */
+    Tick sharedWrDataEnd = 0;
+
+    /** FB-DIMM: DIMM that produced the previous northbound transfer.
+     *  Without VRL, back-to-back returns from different DIMMs need a
+     *  resynchronisation bubble on the daisy chain. */
+    int lastNbDimm = -1;
+
+    /** Reserve the northbound link for one block from DIMM @p d. */
+    Tick reserveNorthbound(Tick earliest, unsigned d);
+
+    /** Issue due refreshes; sets refreshPending on blocked DIMMs. */
+    void serviceRefresh(Tick now);
+
+    std::vector<Tick> nextRefreshAt;   ///< per DIMM
+    std::vector<bool> refreshPending;  ///< overdue, waiting for idle
+
+    Event wakeEvent;
+    Event completionEvent;
+
+    // Counters.
+    std::uint64_t nReads = 0;
+    std::uint64_t nWrites = 0;
+    std::uint64_t nReadsDone = 0;
+    std::uint64_t nAmbHits = 0;
+    std::uint64_t nMcHits = 0;
+    std::uint64_t nChannelBytes = 0;
+    std::uint64_t nHitConversions = 0;
+    double readLatTotal = 0.0;  ///< in ticks
+    stats::Histogram latHist{"read_latency", "read latency (ns)",
+                             0.0, 1000.0, 500};
+};
+
+} // namespace fbdp
+
+#endif // FBDP_MC_CONTROLLER_HH

@@ -1,0 +1,50 @@
+#include "power/power_model.hh"
+
+namespace fbdp {
+
+double
+PowerModel::relativeDynamicPower(const DramOpCounts &test,
+                                 Tick test_window,
+                                 const DramOpCounts &base,
+                                 Tick base_window) const
+{
+    const double pb = dynamicPower(base, base_window);
+    if (pb == 0.0)
+        return 0.0;
+    return dynamicPower(test, test_window) / pb;
+}
+
+double
+PowerModel::relativeDynamicEnergy(const DramOpCounts &test,
+                                  double test_insts,
+                                  const DramOpCounts &base,
+                                  double base_insts) const
+{
+    if (base_insts <= 0.0 || test_insts <= 0.0)
+        return 0.0;
+    const double eb = dynamicEnergy(base) / base_insts;
+    if (eb == 0.0)
+        return 0.0;
+    return (dynamicEnergy(test) / test_insts) / eb;
+}
+
+double
+PowerModel::relativeTotalPower(const DramOpCounts &test,
+                               Tick test_window,
+                               const DramOpCounts &base,
+                               Tick base_window) const
+{
+    const double pb_dyn = dynamicPower(base, base_window);
+    if (pb_dyn == 0.0)
+        return 0.0;
+    // staticShare is given as a fraction of the *baseline total*:
+    //   P_total_base = P_dyn_base + P_static
+    //   P_static     = staticShare * P_total_base
+    // => P_static = P_dyn_base * staticShare / (1 - staticShare)
+    const double p_static = pb_dyn * staticShare / (1.0 - staticShare);
+    const double pt_test = dynamicPower(test, test_window) + p_static;
+    const double pt_base = pb_dyn + p_static;
+    return pt_test / pt_base;
+}
+
+} // namespace fbdp

@@ -1,0 +1,116 @@
+#include "prefetch/amb_cache.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+AmbCache::AmbCache(unsigned entries, unsigned ways)
+    : nEntries(entries),
+      nWays(ways == 0 ? entries : ways),
+      nSets(entries / (ways == 0 ? entries : ways))
+{
+    fbdp_assert(entries >= 1, "AMB cache needs at least one entry");
+    fbdp_assert(nWays >= 1 && entries % nWays == 0,
+                "entries %u not divisible by ways %u", entries, nWays);
+    lines.resize(entries);
+}
+
+unsigned
+AmbCache::setOf(Addr line_addr) const
+{
+    // Fold upper address bits into the index.  The lines that reach
+    // one AMB share their low line-index bits with the channel/DIMM
+    // selector of the interleaving, so a plain modulo would alias
+    // every resident line onto a handful of sets; hardware indexes
+    // with DIMM-local bits instead, which this is equivalent to.
+    std::uint64_t l = lineIndex(line_addr);
+    l ^= l >> 5;
+    l ^= l >> 11;
+    return static_cast<unsigned>(l % nSets);
+}
+
+AmbCache::Line *
+AmbCache::lookup(Addr line_addr)
+{
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines[static_cast<size_t>(set) * nWays];
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const AmbCache::Line *
+AmbCache::lookup(Addr line_addr) const
+{
+    return const_cast<AmbCache *>(this)->lookup(line_addr);
+}
+
+AmbCache::Line *
+AmbCache::insert(Addr line_addr, Tick ready_at)
+{
+    if (Line *existing = lookup(line_addr)) {
+        existing->readyAt = ready_at;
+        existing->fifoSeq = nextSeq++;
+        return existing;
+    }
+
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines[static_cast<size_t>(set) * nWays];
+
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        // FIFO: evict the oldest insertion in the set.
+        victim = &base[0];
+        for (unsigned w = 1; w < nWays; ++w) {
+            if (base[w].fifoSeq < victim->fifoSeq)
+                victim = &base[w];
+        }
+        ++nEvictions;
+    }
+
+    victim->lineAddr = line_addr;
+    victim->readyAt = ready_at;
+    victim->valid = true;
+    victim->fifoSeq = nextSeq++;
+    ++nInsertions;
+    return victim;
+}
+
+bool
+AmbCache::invalidate(Addr line_addr)
+{
+    if (Line *l = lookup(line_addr)) {
+        l->valid = false;
+        return true;
+    }
+    return false;
+}
+
+void
+AmbCache::reset()
+{
+    for (auto &l : lines)
+        l.valid = false;
+    nextSeq = 0;
+    nInsertions = 0;
+    nEvictions = 0;
+}
+
+unsigned
+AmbCache::population() const
+{
+    unsigned n = 0;
+    for (const auto &l : lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace fbdp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The AMB cache: the small SRAM prefetch buffer attached to each
+ * Advanced Memory Buffer (the paper's core hardware addition).
+ *
+ * The data array lives on the AMB; the tag-and-status array is held by
+ * the memory controller in its prefetch information table.  Because the
+ * controller's mirror is authoritative for scheduling, a single model
+ * class serves both roles.
+ *
+ * Organisation: @p entries cachelines of 64 bytes, set-associative with
+ * a FIFO replacement policy inside each set.  The paper rejects LRU
+ * because a block that just hit is now held by the processor caches and
+ * will not be re-referenced soon; FIFO retires the oldest prefetch
+ * regardless of use.  Fully associative (the default) is a single set.
+ *
+ * Each line carries a @c readyAt tick: a prefetch is visible in the tag
+ * array from the moment its group fetch is queued, but its data only
+ * reaches the SRAM when the pipelined column access completes.  A
+ * demand hit on an in-flight line waits for @c readyAt, not for a full
+ * DRAM access.
+ */
+
+#ifndef FBDP_PREFETCH_AMB_CACHE_HH
+#define FBDP_PREFETCH_AMB_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** Prefetch buffer of one AMB (tags mirrored at the controller). */
+class AmbCache
+{
+  public:
+    /** Sentinel readyAt for "fill not yet scheduled". */
+    static constexpr Tick fillPending = maxTick;
+
+    struct Line
+    {
+        Addr lineAddr = 0;      ///< line-aligned physical address
+        Tick readyAt = 0;       ///< data present in the SRAM from here
+        bool valid = false;
+        std::uint64_t fifoSeq = 0;
+    };
+
+    /**
+     * @param entries total number of 64 B lines (32/64/128 in the
+     *                paper's sweeps)
+     * @param ways    set associativity; 0 means fully associative
+     */
+    AmbCache(unsigned entries, unsigned ways);
+
+    /** Find a valid line. @return nullptr on miss. */
+    Line *lookup(Addr line_addr);
+    const Line *lookup(Addr line_addr) const;
+
+    /**
+     * Insert a line (FIFO-evicting inside its set if needed).  An
+     * existing entry for the same address is refreshed in place.
+     * @return the inserted line.
+     */
+    Line *insert(Addr line_addr, Tick ready_at);
+
+    /** Drop a line if present. @return true if something was dropped. */
+    bool invalidate(Addr line_addr);
+
+    /** Invalidate everything. */
+    void reset();
+
+    unsigned entries() const { return nEntries; }
+    unsigned ways() const { return nWays; }
+    unsigned sets() const { return nSets; }
+
+    /** Number of currently valid lines (for tests). */
+    unsigned population() const;
+
+    std::uint64_t insertions() const { return nInsertions; }
+    std::uint64_t evictions() const { return nEvictions; }
+
+  private:
+    unsigned setOf(Addr line_addr) const;
+
+    unsigned nEntries;
+    unsigned nWays;
+    unsigned nSets;
+    std::uint64_t nextSeq = 0;
+
+    std::uint64_t nInsertions = 0;
+    std::uint64_t nEvictions = 0;
+
+    std::vector<Line> lines;  ///< nSets x nWays, set-major
+};
+
+} // namespace fbdp
+
+#endif // FBDP_PREFETCH_AMB_CACHE_HH

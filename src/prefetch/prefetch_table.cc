@@ -1,0 +1,75 @@
+#include "prefetch/prefetch_table.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+PrefetchTable::PrefetchTable(unsigned n_dimms, unsigned entries,
+                             unsigned ways)
+{
+    fbdp_assert(n_dimms >= 1, "prefetch table needs >= 1 DIMM");
+    caches.reserve(n_dimms);
+    for (unsigned i = 0; i < n_dimms; ++i)
+        caches.emplace_back(entries, ways);
+}
+
+AmbCache::Line *
+PrefetchTable::lookupRead(unsigned dimm_idx, Addr line_addr)
+{
+    AmbCache::Line *l = caches.at(dimm_idx).lookup(line_addr);
+    if (l)
+        ++nHits;
+    return l;
+}
+
+void
+PrefetchTable::insertGroup(unsigned dimm_idx, Addr region_base,
+                           unsigned region_lines, Addr demanded)
+{
+    AmbCache &c = caches.at(dimm_idx);
+    for (unsigned i = 0; i < region_lines; ++i) {
+        Addr la = region_base + static_cast<Addr>(i) * lineBytes;
+        if (la == demanded)
+            continue;
+        // A line that is already resident keeps its FIFO age; true
+        // FIFO retires by first insertion, not by re-fetch.
+        if (!c.lookup(la))
+            c.insert(la, AmbCache::fillPending);
+        ++nPrefetches;
+    }
+}
+
+void
+PrefetchTable::resolveFill(unsigned dimm_idx, Addr line_addr,
+                           Tick ready_at)
+{
+    if (AmbCache::Line *l = caches.at(dimm_idx).lookup(line_addr))
+        l->readyAt = ready_at;
+    // An already evicted line simply loses its fill; harmless.
+}
+
+void
+PrefetchTable::invalidate(unsigned dimm_idx, Addr line_addr)
+{
+    if (caches.at(dimm_idx).invalidate(line_addr))
+        ++nWriteInval;
+}
+
+void
+PrefetchTable::reset()
+{
+    for (auto &c : caches)
+        c.reset();
+    resetStats();
+}
+
+void
+PrefetchTable::resetStats()
+{
+    nReads = 0;
+    nHits = 0;
+    nPrefetches = 0;
+    nWriteInval = 0;
+}
+
+} // namespace fbdp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The prefetch information table held at the memory controller.
+ *
+ * One AmbCache tag mirror per DIMM of the channel, plus the prefetch
+ * accounting the paper reports: coverage (#prefetch_hit / #read) and
+ * efficiency (#prefetch_hit / #prefetch).  Only the K-1 non-demanded
+ * lines of a group count as prefetches; the demanded line goes straight
+ * to the processor and is not retained.
+ */
+
+#ifndef FBDP_PREFETCH_PREFETCH_TABLE_HH
+#define FBDP_PREFETCH_PREFETCH_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/amb_cache.hh"
+
+namespace fbdp {
+
+/** Controller-side view of all AMB caches on one channel. */
+class PrefetchTable
+{
+  public:
+    /**
+     * @param n_dimms  DIMMs (hence AMBs) on the channel
+     * @param entries  lines per AMB cache
+     * @param ways     associativity; 0 = fully associative
+     */
+    PrefetchTable(unsigned n_dimms, unsigned entries, unsigned ways);
+
+    AmbCache &dimm(unsigned i) { return caches.at(i); }
+    const AmbCache &dimm(unsigned i) const { return caches.at(i); }
+    unsigned numDimms() const
+    {
+        return static_cast<unsigned>(caches.size());
+    }
+
+    /**
+     * Demand-read lookup; bumps the hit counter when found.
+     * @return the line (possibly still in flight) or nullptr.
+     */
+    AmbCache::Line *lookupRead(unsigned dimm_idx, Addr line_addr);
+
+    /** Re-check a previously hit line without double counting. */
+    AmbCache::Line *
+    peek(unsigned dimm_idx, Addr line_addr)
+    {
+        return caches.at(dimm_idx).lookup(line_addr);
+    }
+
+    /**
+     * Record the K-1 prefetched lines of a region fetch whose demanded
+     * line is @p demanded.  Entries become visible immediately with
+     * @c fillPending readiness; fills are timed later via
+     * resolveFill().
+     */
+    void insertGroup(unsigned dimm_idx, Addr region_base,
+                     unsigned region_lines, Addr demanded);
+
+    /** Set the SRAM arrival time of one previously inserted line. */
+    void resolveFill(unsigned dimm_idx, Addr line_addr, Tick ready_at);
+
+    /** A write to @p line_addr invalidates any stale prefetch. */
+    void invalidate(unsigned dimm_idx, Addr line_addr);
+
+    /** Count one demand read (the coverage denominator). */
+    void countRead() { ++nReads; }
+
+    /** Count one read actually serviced from an AMB cache. */
+    void countHit() { ++nHits; }
+
+    std::uint64_t reads() const { return nReads; }
+    std::uint64_t prefetchHits() const { return nHits; }
+    std::uint64_t prefetchesIssued() const { return nPrefetches; }
+    std::uint64_t writeInvalidations() const { return nWriteInval; }
+
+    /** #prefetch_hit / #read. */
+    double coverage() const
+    {
+        return nReads
+            ? static_cast<double>(nHits) / static_cast<double>(nReads)
+            : 0.0;
+    }
+
+    /** #prefetch_hit / #prefetch. */
+    double efficiency() const
+    {
+        return nPrefetches
+            ? static_cast<double>(nHits)
+                / static_cast<double>(nPrefetches)
+            : 0.0;
+    }
+
+    void reset();
+    void resetStats();
+
+  private:
+    std::vector<AmbCache> caches;
+
+    std::uint64_t nReads = 0;
+    std::uint64_t nHits = 0;
+    std::uint64_t nPrefetches = 0;
+    std::uint64_t nWriteInval = 0;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_PREFETCH_PREFETCH_TABLE_HH

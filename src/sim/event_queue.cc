@@ -1,0 +1,73 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    fbdp_assert(when >= curTick,
+                "scheduling event in the past: when=%llu now=%llu",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(curTick));
+    if (ev->_scheduled) {
+        // Invalidate the existing heap entry.
+        ++ev->liveSeq;
+        --liveEvents;
+    }
+    ev->_when = when;
+    ev->_scheduled = true;
+    ev->seq = nextSeq++;
+    heap.push(HeapEntry{when, ev->_priority, ev->seq, ev, ev->liveSeq});
+    ++liveEvents;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->_scheduled)
+        return;
+    ev->_scheduled = false;
+    ++ev->liveSeq;
+    --liveEvents;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap.empty()) {
+        HeapEntry top = heap.top();
+        heap.pop();
+        if (top.liveSeq != top.ev->liveSeq)
+            continue; // stale entry
+        fbdp_assert(top.ev->_scheduled, "live heap entry not scheduled");
+        curTick = top.when;
+        top.ev->_scheduled = false;
+        ++top.ev->liveSeq;
+        --liveEvents;
+        ++nDispatched;
+        top.ev->callback();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (!heap.empty()) {
+        const HeapEntry &top = heap.top();
+        if (top.liveSeq != top.ev->liveSeq) {
+            heap.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    if (curTick < limit && limit != maxTick)
+        curTick = limit;
+}
+
+} // namespace fbdp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The event-driven simulation kernel.
+ *
+ * fbdp is a discrete-event simulator: every component schedules Event
+ * objects on a shared EventQueue, which dispatches them in (tick,
+ * priority, sequence) order.  The sequence number makes simulation
+ * deterministic when several events share a tick, which in turn makes
+ * configuration comparisons exact.
+ */
+
+#ifndef FBDP_SIM_EVENT_QUEUE_HH
+#define FBDP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+class EventQueue;
+
+/**
+ * A schedulable unit of work.  Events are intrusive: components embed
+ * them as members and re-schedule the same object; the queue never owns
+ * an Event.
+ */
+class Event
+{
+  public:
+    /** Lower value == dispatched earlier within the same tick. */
+    enum Priority : int {
+        prioData = 0,      ///< data returns / completions
+        prioDefault = 10,  ///< component wake-ups
+        prioCpu = 20,      ///< CPU advance, after same-tick completions
+    };
+
+    explicit Event(std::function<void()> cb, int prio = prioDefault)
+        : callback(std::move(cb)), _priority(prio)
+    {}
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    bool scheduled() const { return _scheduled; }
+    Tick when() const { return _when; }
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    std::function<void()> callback;
+    int _priority;
+    Tick _when = 0;
+    std::uint64_t seq = 0;
+    bool _scheduled = false;
+    /** Stale entries left in the heap after a deschedule/reschedule. */
+    std::uint64_t liveSeq = 0;
+};
+
+/**
+ * Tick-ordered dispatch queue.  A lazy-deletion binary heap: descheduled
+ * or rescheduled events leave a stale heap entry behind that is skipped
+ * at pop time.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulation time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule @p ev at absolute tick @p when (>= now()).  An already
+     * scheduled event is moved to the new time.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove @p ev from the queue if scheduled. */
+    void deschedule(Event *ev);
+
+    /** Dispatch events until the queue is empty or @p limit is passed. */
+    void run(Tick limit = maxTick);
+
+    /** Dispatch exactly one event. @return false if the queue is empty. */
+    bool step();
+
+    bool empty() const { return liveEvents == 0; }
+    std::uint64_t dispatched() const { return nDispatched; }
+
+  private:
+    struct HeapEntry {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+        std::uint64_t liveSeq;
+    };
+
+    struct HeapCmp {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t nDispatched = 0;
+    std::uint64_t liveEvents = 0;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,96 @@
+#include "system/config.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+SystemConfig
+SystemConfig::ddr2()
+{
+    SystemConfig c;
+    c.fbd = false;
+    c.scheme = Interleave::Cacheline;
+    c.apEnable = false;
+    return c;
+}
+
+SystemConfig
+SystemConfig::fbdBase()
+{
+    SystemConfig c;
+    c.fbd = true;
+    c.scheme = Interleave::Cacheline;
+    c.apEnable = false;
+    return c;
+}
+
+SystemConfig
+SystemConfig::fbdAp()
+{
+    SystemConfig c;
+    c.fbd = true;
+    c.scheme = Interleave::MultiCacheline;
+    c.apEnable = true;
+    c.regionLines = 4;
+    c.ambEntries = 64;
+    c.ambWays = 0;
+    return c;
+}
+
+ControllerConfig
+SystemConfig::controllerConfig() const
+{
+    if (apEnable) {
+        fbdp_assert(fbd, "AMB prefetching requires FB-DIMM");
+        fbdp_assert(scheme != Interleave::Cacheline,
+                    "AMB prefetching needs multi-cacheline or page "
+                    "interleaving (Section 3.2)");
+    }
+    if (mcPrefetch) {
+        fbdp_assert(!apEnable,
+                    "mcPrefetch and apEnable are exclusive");
+        fbdp_assert(scheme != Interleave::Cacheline,
+                    "controller prefetching needs region-preserving "
+                    "interleaving too");
+    }
+    ControllerConfig cc;
+    cc.fbd = fbd;
+    cc.nDimms = dimmsPerChannel;
+    cc.banksPerDimm = banksPerDimm;
+    cc.timing = DramTiming::forDataRate(dataRate);
+    if (!fbd) {
+        // Command path of the conventional DDR2 channel: a register
+        // buffering cycle (the AMB plays this role on FB-DIMM, costed
+        // via the chain delay) plus 2T command timing, which stub-bus
+        // channels loaded with four DIMMs need for signal integrity.
+        cc.cmdDelay = nsToTicks(3) + 2 * cc.timing.memCycle;
+    }
+    cc.vrl = vrl;
+    cc.writeDrainHigh = writeDrainHigh;
+    cc.writeDrainLow = writeDrainLow;
+    cc.refreshEnable = refreshEnable;
+    cc.openPage = (scheme == Interleave::Page);
+    cc.apEnable = apEnable;
+    cc.regionLines = regionLines;
+    cc.ambEntries = ambEntries;
+    cc.ambWays = ambWays;
+    cc.apFullLatency = apFullLatency;
+    cc.mcPrefetch = mcPrefetch;
+    cc.mcEntries = mcEntries;
+    cc.mcWays = mcWays;
+    return cc;
+}
+
+AddressMapConfig
+SystemConfig::addressMapConfig() const
+{
+    AddressMapConfig mc;
+    mc.channels = logicChannels;
+    mc.dimmsPerChannel = dimmsPerChannel;
+    mc.banksPerDimm = banksPerDimm;
+    mc.regionLines = regionLines;
+    mc.scheme = scheme;
+    return mc;
+}
+
+} // namespace fbdp

@@ -1,0 +1,84 @@
+#include "system/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    fbdp_assert(cells.size() == head.size(),
+                "row width %zu != header width %zu",
+                cells.size(), head.size());
+    body.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> width(head.size(), 0);
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                for (size_t k = row[c].size(); k < width[c] + 2; ++k)
+                    os << ' ';
+            }
+        }
+        os << '\n';
+    };
+
+    emit(head);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    for (size_t k = 0; k < total; ++k)
+        os << '-';
+    os << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+std::string
+fmtD(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtPct(double ratio, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", prec, ratio * 100.0);
+    return buf;
+}
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+} // namespace fbdp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reporting helpers: aligned text tables (used by every bench binary
+ * to print the paper's figures/tables as series) and small numeric
+ * formatting utilities.
+ */
+
+#ifndef FBDP_SYSTEM_METRICS_HH
+#define FBDP_SYSTEM_METRICS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fbdp {
+
+/** Minimal column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Print with per-column alignment and a header separator. */
+    void print(std::ostream &os) const;
+
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtD(double v, int prec = 3);
+
+/** Format a percentage ("12.3%"). */
+std::string fmtPct(double ratio, int prec = 1);
+
+/** Geometric-ish helpers over vectors. */
+double meanOf(const std::vector<double> &v);
+
+} // namespace fbdp
+
+#endif // FBDP_SYSTEM_METRICS_HH

@@ -1,0 +1,68 @@
+#include "system/runner.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+RunResult
+runMix(const SystemConfig &base, const WorkloadMix &mix)
+{
+    SystemConfig cfg = base;
+    cfg.benchmarks = mix.benches;
+    System sys(cfg);
+    return sys.run();
+}
+
+ReferenceSet::ReferenceSet(SystemConfig ref_base)
+    : base(std::move(ref_base))
+{
+}
+
+double
+ReferenceSet::ipcOf(const std::string &bench)
+{
+    auto it = cache.find(bench);
+    if (it != cache.end())
+        return it->second;
+
+    SystemConfig cfg = base;
+    cfg.benchmarks = {bench};
+    System sys(cfg);
+    RunResult r = sys.run();
+    fbdp_assert(!r.ipc.empty() && r.ipc[0] > 0.0,
+                "reference run for '%s' produced no IPC",
+                bench.c_str());
+    cache[bench] = r.ipc[0];
+    return r.ipc[0];
+}
+
+double
+smtSpeedup(const RunResult &r, const WorkloadMix &mix,
+           ReferenceSet &refs)
+{
+    fbdp_assert(r.ipc.size() == mix.benches.size(),
+                "result/mix core-count mismatch");
+    double s = 0.0;
+    for (size_t i = 0; i < mix.benches.size(); ++i)
+        s += r.ipc[i] / refs.ipcOf(mix.benches[i]);
+    return s;
+}
+
+void
+applyInstsFromEnv(SystemConfig &cfg)
+{
+    if (const char *e = std::getenv("FBDP_MEASURE_INSTS")) {
+        const long long v = std::atoll(e);
+        if (v > 0)
+            cfg.measureInsts = static_cast<std::uint64_t>(v);
+    }
+    if (const char *e = std::getenv("FBDP_WARMUP_INSTS")) {
+        const long long v = std::atoll(e);
+        if (v > 0)
+            cfg.warmupInsts = static_cast<std::uint64_t>(v);
+    }
+}
+
+} // namespace fbdp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment helpers shared by the benches, examples and tests:
+ * running a workload mix on a configuration, caching the single-core
+ * DDR2 reference IPCs, and computing the paper's SMT-speedup metric.
+ */
+
+#ifndef FBDP_SYSTEM_RUNNER_HH
+#define FBDP_SYSTEM_RUNNER_HH
+
+#include <map>
+#include <string>
+
+#include "system/config.hh"
+#include "system/system.hh"
+#include "workload/mixes.hh"
+
+namespace fbdp {
+
+/** Run @p mix on @p base (benchmarks/core count filled from the mix). */
+RunResult runMix(const SystemConfig &base, const WorkloadMix &mix);
+
+/**
+ * Per-program reference IPCs: each program alone on a single-core
+ * machine with two-channel DDR2 (the paper's reference points).
+ * Results are computed lazily and cached for the process lifetime.
+ */
+class ReferenceSet
+{
+  public:
+    /** @param ref_base the reference machine (workload ignored). */
+    explicit ReferenceSet(SystemConfig ref_base);
+
+    /** Reference IPC of @p bench (simulating on first use). */
+    double ipcOf(const std::string &bench);
+
+  private:
+    SystemConfig base;
+    std::map<std::string, double> cache;
+};
+
+/**
+ * SMT speedup (Section 4.2):
+ *   sum_i IPC_cmp[i] / IPC_single[i]
+ * where IPC_single comes from @p refs.
+ */
+double smtSpeedup(const RunResult &r, const WorkloadMix &mix,
+                  ReferenceSet &refs);
+
+/** Scale per-run instruction counts from the environment.
+ *  FBDP_MEASURE_INSTS / FBDP_WARMUP_INSTS override the defaults;
+ *  benches use this so `--quick` and CI runs stay cheap. */
+void applyInstsFromEnv(SystemConfig &cfg);
+
+} // namespace fbdp
+
+#endif // FBDP_SYSTEM_RUNNER_HH

@@ -1,0 +1,108 @@
+#include "system/sweep.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+Sweep &
+Sweep::addConfig(std::string name, SystemConfig cfg)
+{
+    configs.emplace_back(std::move(name), std::move(cfg));
+    return *this;
+}
+
+Sweep &
+Sweep::addMix(const WorkloadMix &mix)
+{
+    mixes.push_back(&mix);
+    return *this;
+}
+
+Sweep &
+Sweep::addMixGroup(unsigned cores)
+{
+    for (const auto &m : mixesFor(cores))
+        mixes.push_back(&m);
+    return *this;
+}
+
+Sweep &
+Sweep::repeats(unsigned n)
+{
+    fbdp_assert(n >= 1, "sweep needs >= 1 repeat");
+    nRepeats = n;
+    return *this;
+}
+
+Sweep &
+Sweep::onRow(std::function<void(const SweepRow &)> cb)
+{
+    rowCb = std::move(cb);
+    return *this;
+}
+
+std::vector<SweepRow>
+Sweep::run()
+{
+    fbdp_assert(!configs.empty(), "sweep has no configurations");
+    fbdp_assert(!mixes.empty(), "sweep has no workloads");
+
+    std::vector<SweepRow> rows;
+    rows.reserve(cells());
+    for (const auto &[name, cfg] : configs) {
+        for (const WorkloadMix *mix : mixes) {
+            for (unsigned r = 1; r <= nRepeats; ++r) {
+                SystemConfig c = cfg;
+                c.seed = r;
+                c.benchmarks = mix->benches;
+                System sys(c);
+                SweepRow row;
+                row.config = name;
+                row.mix = mix->name;
+                row.seed = r;
+                row.result = sys.run();
+                if (rowCb)
+                    rowCb(row);
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+    return rows;
+}
+
+std::string
+Sweep::csvHeader()
+{
+    return "config,mix,seed,ipc_sum,bandwidth_gbs,"
+           "avg_read_latency_ns,reads,writes,amb_hits,coverage,"
+           "efficiency,act_pre,cas,refresh,insts,sim_us";
+}
+
+std::string
+Sweep::csvRow(const SweepRow &row)
+{
+    const RunResult &r = row.result;
+    std::ostringstream os;
+    os << row.config << ',' << row.mix << ',' << row.seed << ','
+       << r.ipcSum() << ',' << r.bandwidthGBs << ','
+       << r.avgReadLatencyNs << ',' << r.reads << ',' << r.writes
+       << ',' << r.ambHits << ',' << r.coverage << ','
+       << r.efficiency << ',' << r.ops.actPre << ',' << r.ops.cas()
+       << ',' << r.ops.refresh << ',' << r.totalInsts() << ','
+       << static_cast<double>(r.measuredTicks) * 1e-6;
+    return os.str();
+}
+
+void
+Sweep::runCsv(std::ostream &os)
+{
+    os << csvHeader() << '\n';
+    onRow([&os](const SweepRow &row) {
+        os << csvRow(row) << '\n';
+    });
+    run();
+}
+
+} // namespace fbdp

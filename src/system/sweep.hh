@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Batch experiment driver.
+ *
+ * Research use of a simulator is mostly grids: a set of machine
+ * configurations crossed with a set of workloads, dumped as CSV for a
+ * plotting pipeline.  Sweep collects named configurations and mixes,
+ * runs the cross product (optionally with repeats over seeds), and
+ * streams one CSV row per run.
+ */
+
+#ifndef FBDP_SYSTEM_SWEEP_HH
+#define FBDP_SYSTEM_SWEEP_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "system/config.hh"
+#include "system/system.hh"
+#include "workload/mixes.hh"
+
+namespace fbdp {
+
+/** One row of sweep output. */
+struct SweepRow
+{
+    std::string config;
+    std::string mix;
+    std::uint64_t seed = 0;
+    RunResult result;
+};
+
+/** Cross-product experiment runner. */
+class Sweep
+{
+  public:
+    /** Add a named machine configuration (workload ignored). */
+    Sweep &addConfig(std::string name, SystemConfig cfg);
+
+    /** Add a workload mix by reference. */
+    Sweep &addMix(const WorkloadMix &mix);
+
+    /** Add every mix with the given core count. */
+    Sweep &addMixGroup(unsigned cores);
+
+    /** Repeat every cell with seeds 1..n (default 1). */
+    Sweep &repeats(unsigned n);
+
+    /** Invoked after each run (progress reporting). */
+    Sweep &onRow(std::function<void(const SweepRow &)> cb);
+
+    /** Run everything; rows in config-major order. */
+    std::vector<SweepRow> run();
+
+    /** CSV header matching writeCsvRow(). */
+    static std::string csvHeader();
+
+    /** One row of CSV for a finished run. */
+    static std::string csvRow(const SweepRow &row);
+
+    /** Run and stream CSV to @p os (header + one row per run). */
+    void runCsv(std::ostream &os);
+
+    size_t cells() const
+    {
+        return configs.size() * mixes.size() * nRepeats;
+    }
+
+  private:
+    std::vector<std::pair<std::string, SystemConfig>> configs;
+    std::vector<const WorkloadMix *> mixes;
+    unsigned nRepeats = 1;
+    std::function<void(const SweepRow &)> rowCb;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_SYSTEM_SWEEP_HH

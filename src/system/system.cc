@@ -1,0 +1,332 @@
+#include "system/system.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace fbdp {
+
+double
+RunResult::ipcSum() const
+{
+    double s = 0.0;
+    for (double v : ipc)
+        s += v;
+    return s;
+}
+
+double
+RunResult::totalInsts() const
+{
+    double s = 0.0;
+    for (std::uint64_t v : insts)
+        s += static_cast<double>(v);
+    return s;
+}
+
+MemorySystem::MemorySystem(
+    EventQueue *event_queue, const AddressMap *address_map,
+    std::vector<std::unique_ptr<MemController>> *ctrls)
+    : eq(event_queue), map(address_map), controllers(ctrls)
+{
+}
+
+void
+MemorySystem::read(Addr line_addr, int core_id, bool sw_prefetch,
+                   std::function<void(Tick)> done)
+{
+    auto t = std::make_unique<Transaction>();
+    t->cmd = MemCmd::Read;
+    t->lineAddr = lineAlign(line_addr);
+    t->coreId = core_id;
+    t->swPrefetch = sw_prefetch;
+    t->created = eq->now();
+    t->coord = map->map(t->lineAddr);
+    t->onComplete = std::move(done);
+    (*controllers)[t->coord.channel]->push(std::move(t));
+}
+
+void
+MemorySystem::write(Addr line_addr, int core_id)
+{
+    auto t = std::make_unique<Transaction>();
+    t->cmd = MemCmd::Write;
+    t->lineAddr = lineAlign(line_addr);
+    t->coreId = core_id;
+    t->created = eq->now();
+    t->coord = map->map(t->lineAddr);
+    (*controllers)[t->coord.channel]->push(std::move(t));
+}
+
+System::System(const SystemConfig &config)
+    : cfg(config)
+{
+    fbdp_assert(!cfg.benchmarks.empty(),
+                "system configured with no workload");
+
+    map = std::make_unique<AddressMap>(cfg.addressMapConfig());
+
+    const ControllerConfig cc = cfg.controllerConfig();
+    for (unsigned ch = 0; ch < cfg.logicChannels; ++ch) {
+        controllers.push_back(std::make_unique<MemController>(
+            csprintf("mc%u", ch), &eq, cc));
+    }
+
+    memSys = std::make_unique<MemorySystem>(&eq, map.get(),
+                                            &controllers);
+    HierConfig hc = cfg.hier;
+    if (cfg.hwPrefetch)
+        hc.hwPrefetch.enable = true;
+    hier = std::make_unique<CacheHierarchy>(&eq, cfg.nCores(), hc,
+                                            memSys.get());
+
+    // Each core owns a disjoint 4 GB slice of the physical space; the
+    // interleaving spreads every slice across all channels and banks.
+    constexpr Addr slice = 1ull << 32;
+    for (unsigned i = 0; i < cfg.nCores(); ++i) {
+        const BenchProfile &prof = benchProfile(cfg.benchmarks[i]);
+        gens.push_back(std::make_unique<SyntheticGenerator>(
+            prof, static_cast<Addr>(i) * slice,
+            cfg.seed * 1000 + i, cfg.swPrefetch));
+
+        CoreParams cp;
+        cp.baseIpc = prof.baseIpc;
+        cp.rob = cfg.rob;
+        cp.lq = cfg.lq;
+        cp.sq = cfg.sq;
+        cores.push_back(std::make_unique<Core>(
+            csprintf("cpu%u.%s", i, prof.name.c_str()),
+            static_cast<int>(i), &eq, hier.get(), gens[i].get(), cp));
+    }
+}
+
+System::~System() = default;
+
+void
+System::resetAllStats()
+{
+    for (auto &c : cores)
+        c->resetStats();
+    for (auto &mc : controllers)
+        mc->resetStats();
+    hier->resetStats();
+}
+
+RunResult
+System::run()
+{
+    // Phase 0: functional cache warm-up.  Replay a prefix of each
+    // core's trace through the tag arrays so the measured region does
+    // not see an artificially cold 4 MB L2 (the paper's SimPoint runs
+    // start from warm state).
+    std::uint64_t warm_ops = cfg.functionalWarmupOps;
+    if (warm_ops == 0) {
+        const std::uint64_t l2_lines = cfg.hier.l2Bytes / lineBytes;
+        // Roughly one line install per ten ops; aim for 2x capacity.
+        warm_ops = 20 * l2_lines / cfg.nCores();
+    }
+    for (std::uint64_t k = 0; k < warm_ops; ++k) {
+        for (unsigned i = 0; i < cfg.nCores(); ++i) {
+            TraceOp op = gens[i]->next();
+            if (op.kind == TraceOp::Kind::Prefetch)
+                hier->functionalPrefetch(static_cast<int>(i), op.addr);
+            else
+                hier->functionalAccess(
+                    static_cast<int>(i), op.addr,
+                    op.kind == TraceOp::Kind::Store);
+        }
+    }
+
+    // Phase 1: warm up until the first core has executed warmupInsts.
+    phaseDone = false;
+    for (auto &c : cores) {
+        c->setNotify(cfg.warmupInsts, [this] { phaseDone = true; });
+        c->start();
+    }
+    while (!phaseDone && eq.step()) {
+    }
+    fbdp_assert(phaseDone, "simulation drained during warm-up");
+
+    resetAllStats();
+    const Tick t0 = eq.now();
+
+    // Phase 2: measure until the first core adds measureInsts more.
+    phaseDone = false;
+    for (auto &c : cores) {
+        c->setNotify(c->insts() + cfg.measureInsts,
+                     [this] { phaseDone = true; });
+    }
+    while (!phaseDone && eq.step()) {
+    }
+    fbdp_assert(phaseDone, "simulation drained during measurement");
+
+    return collect(eq.now() - t0);
+}
+
+void
+System::report(std::ostream &os) const
+{
+    using stats::Formula;
+    using stats::StatGroup;
+
+    for (size_t i = 0; i < cores.size(); ++i) {
+        const Core &c = *cores[i];
+        StatGroup g(c.name());
+        Formula ipc("ipc", "instructions per cycle (window)",
+                    [&c] { return c.ipc(); });
+        Formula insts("insts", "instructions in window",
+                      [&c] { return static_cast<double>(
+                                 c.windowInsts()); });
+        Formula rob("rob_stall_ns", "ROB-full stall time",
+                    [&c] { return ticksToNs(c.robStallTicks()); });
+        Formula lq("lq_stall_ns", "load-queue stall time",
+                   [&c] { return ticksToNs(c.lqStallTicks()); });
+        Formula sq("sq_stall_ns", "store-queue stall time",
+                   [&c] { return ticksToNs(c.sqStallTicks()); });
+        Formula mshr("mshr_stall_ns", "MSHR-full stall time",
+                     [&c] { return ticksToNs(c.mshrStallTicks()); });
+        Formula l1h("l1_hits", "L1 hits",
+                    [this, i] { return static_cast<double>(
+                                    hier->l1Hits(
+                                        static_cast<int>(i))); });
+        Formula l1m("l1_misses", "L1 misses",
+                    [this, i] { return static_cast<double>(
+                                    hier->l1Misses(
+                                        static_cast<int>(i))); });
+        for (stats::Stat *s : std::initializer_list<stats::Stat *>{
+                 &ipc, &insts, &rob, &lq, &sq, &mshr, &l1h, &l1m})
+            g.registerStat(s);
+        g.printAll(os);
+    }
+
+    {
+        StatGroup g("l2");
+        Formula hits("hits", "L2 hits",
+                     [this] { return static_cast<double>(
+                                  hier->l2Hits()); });
+        Formula misses("misses", "L2 misses (incl. MSHR merges)",
+                       [this] { return static_cast<double>(
+                                    hier->l2Misses()); });
+        Formula rd("mem_reads", "demand reads sent to memory",
+                   [this] { return static_cast<double>(
+                                hier->memReads()); });
+        Formula wr("mem_writes", "writebacks sent to memory",
+                   [this] { return static_cast<double>(
+                                hier->memWrites()); });
+        Formula pf("sw_prefetches", "software prefetches sent",
+                   [this] { return static_cast<double>(
+                                hier->prefetchesSent()); });
+        Formula pfd("sw_prefetches_dropped",
+                    "software prefetches dropped",
+                    [this] { return static_cast<double>(
+                                 hier->prefetchesDropped()); });
+        for (stats::Stat *s : std::initializer_list<stats::Stat *>{
+                 &hits, &misses, &rd, &wr, &pf, &pfd})
+            g.registerStat(s);
+        g.printAll(os);
+    }
+
+    for (const auto &mcp : controllers) {
+        const MemController &mc = *mcp;
+        StatGroup g(mc.name());
+        Formula rd("reads", "read transactions",
+                   [&mc] { return static_cast<double>(mc.reads()); });
+        Formula wr("writes", "write transactions",
+                   [&mc] { return static_cast<double>(
+                               mc.writes()); });
+        Formula lat("avg_read_latency_ns",
+                    "MC arrival to data at MC",
+                    [&mc] { return mc.avgReadLatencyNs(); });
+        Formula p95("p95_read_latency_ns", "95th percentile",
+                    [&mc] {
+                        return mc.readLatencyPercentileNs(0.95);
+                    });
+        Formula p99("p99_read_latency_ns", "99th percentile",
+                    [&mc] {
+                        return mc.readLatencyPercentileNs(0.99);
+                    });
+        Formula act("act_pre", "activate/precharge pairs",
+                    [&mc] { return static_cast<double>(
+                                mc.dramOps().actPre); });
+        Formula cas("cas", "column accesses",
+                    [&mc] { return static_cast<double>(
+                                mc.dramOps().cas()); });
+        Formula ref("refresh", "refresh commands",
+                    [&mc] { return static_cast<double>(
+                                mc.dramOps().refresh); });
+        Formula hits("amb_hits", "reads served by the AMB cache",
+                     [&mc] { return static_cast<double>(
+                                 mc.ambHits()); });
+        Formula cov("coverage", "#prefetch_hit / #read", [&mc] {
+            const PrefetchTable *t = mc.prefetchTable();
+            return t ? t->coverage() : 0.0;
+        });
+        Formula eff("efficiency", "#prefetch_hit / #prefetch", [&mc] {
+            const PrefetchTable *t = mc.prefetchTable();
+            return t ? t->efficiency() : 0.0;
+        });
+        for (stats::Stat *s : std::initializer_list<stats::Stat *>{
+                 &rd, &wr, &lat, &p95, &p99, &act, &cas, &ref,
+                 &hits, &cov, &eff})
+            g.registerStat(s);
+        g.printAll(os);
+    }
+}
+
+RunResult
+System::collect(Tick window_ticks) const
+{
+    RunResult r;
+    r.measuredTicks = window_ticks;
+    for (const auto &c : cores) {
+        r.ipc.push_back(c->ipc());
+        r.insts.push_back(c->windowInsts());
+    }
+
+    std::uint64_t bytes = 0;
+    double lat_weighted = 0.0;
+    std::uint64_t lat_samples = 0;
+    std::uint64_t pf_reads = 0, pf_hits = 0, pf_issued = 0;
+    for (const auto &mc : controllers) {
+        r.reads += mc->reads();
+        r.writes += mc->writes();
+        r.ambHits += mc->ambHits();
+        bytes += mc->channelBytes();
+        lat_weighted += mc->avgReadLatencyNs()
+            * static_cast<double>(mc->readLatSamples());
+        lat_samples += mc->readLatSamples();
+        r.ops += mc->dramOps();
+        if (const PrefetchTable *t = mc->prefetchTable()) {
+            pf_reads += t->reads();
+            pf_hits += t->prefetchHits();
+            pf_issued += t->prefetchesIssued();
+        } else if (const PrefetchTable *t2 = mc->mcBuffer()) {
+            pf_reads += t2->reads();
+            pf_hits += t2->prefetchHits();
+            pf_issued += t2->prefetchesIssued();
+        }
+        r.ambHits += mc->mcHits();  // MC hits fill the same role
+    }
+    if (lat_samples)
+        r.avgReadLatencyNs = lat_weighted
+            / static_cast<double>(lat_samples);
+    if (window_ticks) {
+        const double seconds = static_cast<double>(window_ticks)
+            * 1e-12;
+        r.bandwidthGBs = static_cast<double>(bytes) / 1e9 / seconds;
+    }
+    if (pf_reads)
+        r.coverage = static_cast<double>(pf_hits)
+            / static_cast<double>(pf_reads);
+    if (pf_issued)
+        r.efficiency = static_cast<double>(pf_hits)
+            / static_cast<double>(pf_issued);
+
+    r.l2Misses = hier->l2Misses();
+    r.l2Hits = hier->l2Hits();
+    r.swPrefetchesSent = hier->prefetchesSent();
+    return r;
+}
+
+} // namespace fbdp

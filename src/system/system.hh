@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Whole-system assembly: cores -> cache hierarchy -> memory system
+ * (address map + one controller per logic channel), plus the two-phase
+ * (warm-up, measure) simulation driver.
+ */
+
+#ifndef FBDP_SYSTEM_SYSTEM_HH
+#define FBDP_SYSTEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "dram/dimm.hh"
+#include "mc/address_map.hh"
+#include "mc/controller.hh"
+#include "sim/event_queue.hh"
+#include "system/config.hh"
+#include "workload/generator.hh"
+
+namespace fbdp {
+
+/** Measured outcome of one simulation. */
+struct RunResult
+{
+    std::vector<double> ipc;            ///< per core
+    std::vector<std::uint64_t> insts;   ///< per core, window
+    Tick measuredTicks = 0;
+
+    double avgReadLatencyNs = 0.0;      ///< MC arrival -> data at MC
+    double bandwidthGBs = 0.0;          ///< utilized channel bandwidth
+
+    std::uint64_t reads = 0;            ///< memory reads served
+    std::uint64_t writes = 0;
+    std::uint64_t ambHits = 0;
+    double coverage = 0.0;              ///< #prefetch_hit / #read
+    double efficiency = 0.0;            ///< #prefetch_hit / #prefetch
+    DramOpCounts ops;                   ///< for the power model
+
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t swPrefetchesSent = 0;
+
+    /** Sum of per-core IPCs (throughput). */
+    double ipcSum() const;
+
+    /** Total instructions executed in the window, all cores. */
+    double totalInsts() const;
+};
+
+/** Routes cache-hierarchy traffic to the per-channel controllers. */
+class MemorySystem : public MemoryIface
+{
+  public:
+    MemorySystem(EventQueue *event_queue, const AddressMap *map,
+                 std::vector<std::unique_ptr<MemController>> *ctrls);
+
+    void read(Addr line_addr, int core_id, bool sw_prefetch,
+              std::function<void(Tick)> done) override;
+    void write(Addr line_addr, int core_id) override;
+
+  private:
+    EventQueue *eq;
+    const AddressMap *map;
+    std::vector<std::unique_ptr<MemController>> *controllers;
+};
+
+/** One simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    /** Run warm-up then the measured window; return the results. */
+    RunResult run();
+
+    /**
+     * Hierarchical statistics report of the last run: per-core,
+     * per-cache and per-channel counters (built on the stats
+     * framework).  Call after run().
+     */
+    void report(std::ostream &os) const;
+
+    // Component access for tests and custom experiments.
+    EventQueue &eventQueue() { return eq; }
+    MemController &controller(unsigned i) { return *controllers.at(i); }
+    unsigned numControllers() const
+    {
+        return static_cast<unsigned>(controllers.size());
+    }
+    CacheHierarchy &hierarchy() { return *hier; }
+    Core &core(unsigned i) { return *cores.at(i); }
+    SyntheticGenerator &generator(unsigned i) { return *gens.at(i); }
+
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    void resetAllStats();
+    RunResult collect(Tick window_ticks) const;
+
+    SystemConfig cfg;
+    EventQueue eq;
+
+    std::unique_ptr<AddressMap> map;
+    std::vector<std::unique_ptr<MemController>> controllers;
+    std::unique_ptr<MemorySystem> memSys;
+    std::unique_ptr<CacheHierarchy> hier;
+    std::vector<std::unique_ptr<SyntheticGenerator>> gens;
+    std::vector<std::unique_ptr<Core>> cores;
+
+    bool phaseDone = false;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_SYSTEM_SYSTEM_HH

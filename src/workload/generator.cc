@@ -1,0 +1,128 @@
+#include "workload/generator.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+SyntheticGenerator::SyntheticGenerator(const BenchProfile &profile_in,
+                                       Addr base_addr,
+                                       std::uint64_t seed,
+                                       bool sw_prefetch)
+    : prof(profile_in),
+      base(base_addr),
+      spEnabled(sw_prefetch),
+      rng(seed ^ 0xfbd0fbd0fbd0fbd0ULL)
+{
+    fbdp_assert(prof.nStreams >= 1, "profile needs >= 1 stream");
+    fbdp_assert(prof.elemBytes >= 1, "zero stream element");
+
+    // Carve the footprint (beyond the hot set) into per-stream lanes.
+    const Addr stream_area = prof.footprint > prof.hotBytes
+        ? prof.footprint - prof.hotBytes
+        : prof.footprint;
+    // Lanes stay line-aligned so stride patterns land on real
+    // cacheline boundaries.
+    const Addr lane = lineAlign(stream_area / prof.nStreams);
+    streams.resize(prof.nStreams);
+    storeStreams = static_cast<size_t>(
+        prof.storeFrac * static_cast<double>(prof.nStreams) + 0.5);
+    if (storeStreams >= prof.nStreams && prof.nStreams > 1)
+        storeStreams = prof.nStreams - 1;
+    const auto n_stride2 = static_cast<unsigned>(
+        prof.stride2Frac * static_cast<double>(prof.nStreams) + 0.5);
+    for (unsigned s = 0; s < prof.nStreams; ++s) {
+        streams[s].laneBase = base + prof.hotBytes
+            + static_cast<Addr>(s) * lane;
+        streams[s].laneSize = lane;
+        streams[s].cursor = streams[s].laneBase
+            + lineAlign(randomIn(0, lane / 2));
+        // The trailing streams stride; the leading (store) streams
+        // stay unit-stride, as output arrays are written densely.
+        if (s >= prof.nStreams - n_stride2)
+            streams[s].lineStride = 2;
+    }
+}
+
+Addr
+SyntheticGenerator::randomIn(Addr base_addr, Addr size)
+{
+    if (size == 0)
+        return base_addr;
+    return base_addr + rng.below(size);
+}
+
+TraceOp
+SyntheticGenerator::next()
+{
+    ++nOps;
+    if (!queued.empty()) {
+        TraceOp op = queued.front();
+        queued.pop_front();
+        ++nPrefetchOps;
+        return op;
+    }
+
+    TraceOp op;
+    op.gap = static_cast<std::uint32_t>(
+        rng.geometric(prof.meanGap, 0));
+
+    if (rng.chance(prof.streamFrac)) {
+        // Sequential stream access.  Streams advance in lockstep
+        // (round-robin), like the arrays of a vector inner loop.
+        const size_t idx = nextStream;
+        Stream &s = streams[idx];
+        nextStream = (nextStream + 1) % streams.size();
+        if (rng.chance(prof.jumpProb)
+            || s.cursor + prof.elemBytes
+               >= s.laneBase + s.laneSize) {
+            s.cursor = s.laneBase
+                + lineAlign(randomIn(0, s.laneSize - lineBytes));
+        }
+        op.addr = s.cursor;
+        s.cursor += prof.elemBytes;
+        // First element touching a cacheline == the stream crossed
+        // into a new line.  A strided stream then skips ahead past
+        // the lines it does not touch.
+        const bool new_line =
+            (op.addr - s.laneBase) % lineBytes < prof.elemBytes;
+        if (s.lineStride > 1
+            && (s.cursor - s.laneBase) % lineBytes == 0) {
+            s.cursor += static_cast<Addr>(s.lineStride - 1) * lineBytes;
+        }
+        ++nStreamOps;
+        if (new_line)
+            ++nCrossings;
+        if (spEnabled && new_line && rng.chance(prof.spCoverage)) {
+            TraceOp pf;
+            pf.gap = 0;
+            pf.kind = TraceOp::Kind::Prefetch;
+            pf.addr = lineAlign(op.addr)
+                + static_cast<Addr>(prof.spDistanceLines) * lineBytes;
+            queued.push_back(pf);
+        }
+        // The first storeStreams streams are output arrays (all
+        // stores); the rest are inputs (all loads).  Vector codes
+        // write whole result arrays rather than scattering stores
+        // over every array, so write traffic scales with the share
+        // of output streams, not with the raw store fraction.
+        op.kind = idx < storeStreams
+            ? TraceOp::Kind::Store
+            : TraceOp::Kind::Load;
+        return op;
+    } else if (rng.chance(prof.hotFrac)) {
+        // Hot-set access (mostly cache resident).
+        op.addr = randomIn(base, prof.hotBytes);
+        ++nHotOps;
+    } else {
+        // Cold irregular access.
+        op.addr = randomIn(base, prof.footprint);
+        ++nColdOps;
+    }
+
+    op.kind = rng.chance(prof.storeFrac)
+        ? TraceOp::Kind::Store
+        : TraceOp::Kind::Load;
+    return op;
+}
+
+} // namespace fbdp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace-operation model and the synthetic trace generator.
+ *
+ * A Generator produces an endless stream of TraceOps: each op carries
+ * the number of non-memory instructions preceding it, its kind (load /
+ * store / software prefetch) and a byte address.  SyntheticGenerator
+ * realises one BenchProfile; it is seeded deterministically so that
+ * every simulated configuration replays exactly the same stream.
+ */
+
+#ifndef FBDP_WORKLOAD_GENERATOR_HH
+#define FBDP_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "workload/profile.hh"
+
+namespace fbdp {
+
+/** One record of the synthetic instruction trace. */
+struct TraceOp
+{
+    enum class Kind { Load, Store, Prefetch };
+
+    std::uint32_t gap = 0;  ///< non-memory instructions before this op
+    Kind kind = Kind::Load;
+    Addr addr = 0;
+};
+
+/** Abstract trace source. */
+class Generator
+{
+  public:
+    virtual ~Generator() = default;
+
+    /** Produce the next operation (the trace never ends). */
+    virtual TraceOp next() = 0;
+
+    /** The profile driving this trace. */
+    virtual const BenchProfile &profile() const = 0;
+};
+
+/** Profile-driven synthetic trace. */
+class SyntheticGenerator : public Generator
+{
+  public:
+    /**
+     * @param prof        benchmark profile
+     * @param base_addr   physical base of this core's address slice
+     * @param seed        RNG seed (vary per core)
+     * @param sw_prefetch emit software-prefetch ops per the profile
+     */
+    SyntheticGenerator(const BenchProfile &prof, Addr base_addr,
+                       std::uint64_t seed, bool sw_prefetch);
+
+    TraceOp next() override;
+    const BenchProfile &profile() const override { return prof; }
+
+    std::uint64_t opsGenerated() const { return nOps; }
+
+    // Op-class counters (for calibration and tests).
+    std::uint64_t streamOps() const { return nStreamOps; }
+    std::uint64_t streamLineCrossings() const { return nCrossings; }
+    std::uint64_t hotOps() const { return nHotOps; }
+    std::uint64_t coldOps() const { return nColdOps; }
+    std::uint64_t prefetchOps() const { return nPrefetchOps; }
+
+  private:
+    Addr randomIn(Addr base, Addr size);
+
+    BenchProfile prof;
+    Addr base;
+    bool spEnabled;
+    Rng rng;
+
+    struct Stream {
+        Addr laneBase = 0;   ///< start of this stream's lane
+        Addr laneSize = 0;
+        Addr cursor = 0;     ///< next byte to touch
+        unsigned lineStride = 1;  ///< lines advanced per line consumed
+    };
+    std::vector<Stream> streams;
+    size_t nextStream = 0;   ///< round-robin (lockstep) stream cursor
+    size_t storeStreams = 0; ///< leading streams that are outputs
+
+    std::deque<TraceOp> queued;  ///< prefetches awaiting emission
+    std::uint64_t nOps = 0;
+
+    std::uint64_t nStreamOps = 0;
+    std::uint64_t nCrossings = 0;
+    std::uint64_t nHotOps = 0;
+    std::uint64_t nColdOps = 0;
+    std::uint64_t nPrefetchOps = 0;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_WORKLOAD_GENERATOR_HH

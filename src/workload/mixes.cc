@@ -1,0 +1,91 @@
+#include "workload/mixes.hh"
+
+#include "common/logging.hh"
+#include "workload/profile.hh"
+
+namespace fbdp {
+
+const std::vector<WorkloadMix> &
+singleCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = [] {
+        std::vector<WorkloadMix> v;
+        for (const auto &p : paperSuite())
+            v.push_back({"1C-" + p.name, {p.name}});
+        return v;
+    }();
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+dualCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"2C-1", {"wupwise", "swim"}},
+        {"2C-2", {"mgrid", "applu"}},
+        {"2C-3", {"vpr", "equake"}},
+        {"2C-4", {"facerec", "lucas"}},
+        {"2C-5", {"fma3d", "parser"}},
+        {"2C-6", {"gap", "vortex"}},
+    };
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+quadCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"4C-1", {"wupwise", "swim", "mgrid", "applu"}},
+        {"4C-2", {"vpr", "equake", "facerec", "lucas"}},
+        {"4C-3", {"fma3d", "parser", "gap", "vortex"}},
+        {"4C-4", {"wupwise", "mgrid", "vpr", "facerec"}},
+        {"4C-5", {"fma3d", "gap", "swim", "applu"}},
+        {"4C-6", {"equake", "lucas", "parser", "vortex"}},
+    };
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+octoCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"8C-1", {"wupwise", "swim", "mgrid", "applu",
+                  "vpr", "equake", "facerec", "lucas"}},
+        {"8C-2", {"wupwise", "swim", "mgrid", "applu",
+                  "fma3d", "parser", "gap", "vortex"}},
+        {"8C-3", {"vpr", "equake", "facerec", "lucas",
+                  "fma3d", "parser", "gap", "vortex"}},
+    };
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+mixesFor(unsigned cores)
+{
+    switch (cores) {
+      case 1:
+        return singleCoreMixes();
+      case 2:
+        return dualCoreMixes();
+      case 4:
+        return quadCoreMixes();
+      case 8:
+        return octoCoreMixes();
+      default:
+        fatal("no workload mixes with %u cores", cores);
+    }
+}
+
+const WorkloadMix &
+mixByName(const std::string &name)
+{
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+        for (const auto &m : mixesFor(c)) {
+            if (m.name == name)
+                return m;
+        }
+    }
+    fatal("unknown workload mix '%s'", name.c_str());
+}
+
+} // namespace fbdp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The multiprogrammed workload mixes of Table 3, plus the twelve
+ * single-program workloads used as baselines and references.
+ */
+
+#ifndef FBDP_WORKLOAD_MIXES_HH
+#define FBDP_WORKLOAD_MIXES_HH
+
+#include <string>
+#include <vector>
+
+namespace fbdp {
+
+/** A named multiprogrammed workload. */
+struct WorkloadMix
+{
+    std::string name;                  ///< e.g. "2C-1"
+    std::vector<std::string> benches;  ///< one benchmark per core
+};
+
+/** The twelve 1-core workloads ("1C-<bench>"). */
+const std::vector<WorkloadMix> &singleCoreMixes();
+
+/** 2C-1 .. 2C-6 (Table 3). */
+const std::vector<WorkloadMix> &dualCoreMixes();
+
+/** 4C-1 .. 4C-6 (Table 3). */
+const std::vector<WorkloadMix> &quadCoreMixes();
+
+/** 8C-1 .. 8C-3 (Table 3). */
+const std::vector<WorkloadMix> &octoCoreMixes();
+
+/** Mixes of a given core count (1, 2, 4 or 8). */
+const std::vector<WorkloadMix> &mixesFor(unsigned cores);
+
+/** Find any mix by name. */
+const WorkloadMix &mixByName(const std::string &name);
+
+} // namespace fbdp
+
+#endif // FBDP_WORKLOAD_MIXES_HH

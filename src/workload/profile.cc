@@ -1,0 +1,128 @@
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+namespace {
+
+std::vector<BenchProfile>
+makeProfiles()
+{
+    std::vector<BenchProfile> v;
+
+    auto add = [&v](const char *name, double ipc, double gap,
+                    double st, unsigned streams, double sf,
+                    unsigned elem, Addr foot_mb, double jump,
+                    double hot, double spc, unsigned spd) {
+        BenchProfile p;
+        p.name = name;
+        p.baseIpc = ipc;
+        p.meanGap = gap;
+        p.storeFrac = st;
+        p.nStreams = streams;
+        p.streamFrac = sf;
+        p.elemBytes = elem;
+        p.footprint = foot_mb << 20;
+        p.jumpProb = jump;
+        p.hotFrac = hot;
+        // The non-stream, non-cold accesses model scalars, stack and
+        // small structures: an essentially L1-resident working set.
+        // Irregular *misses* come from the cold fraction; L2
+        // contention at high core counts comes from the streams.
+        p.hotBytes = 48 * 1024;
+        p.spCoverage = spc;
+        p.spDistanceLines = spd;
+        return &v.emplace_back(p);
+    };
+
+    // Floating-point streamers: several long unit-stride streams,
+    // large footprints, good compiler prefetch coverage.
+    add("wupwise", 2.5, 9.0, 0.30, 4, 0.85, 8, 96, 0.002, 0.97,
+        0.75, 4);
+    add("swim",    2.2, 8.0, 0.35, 8, 0.95, 8, 192, 0.001, 0.97,
+        0.80, 4);
+    add("mgrid",   2.4, 11.0, 0.25, 6, 0.92, 8, 128, 0.002, 0.97,
+        0.75, 4);
+    add("applu",   2.2, 9.0, 0.30, 6, 0.90, 8, 160, 0.002, 0.97,
+        0.75, 4);
+    add("equake",  1.8, 8.0, 0.20, 5, 0.80, 8, 128, 0.004, 0.95,
+        0.65, 4);
+    add("facerec", 2.0, 11.0, 0.20, 4, 0.85, 8, 96, 0.003, 0.96,
+        0.70, 4);
+    add("lucas",   2.0, 11.0, 0.30, 4, 0.88, 8, 128, 0.002, 0.97,
+        0.75, 4);
+    add("fma3d",   1.8, 11.0, 0.30, 5, 0.75, 8, 96, 0.004, 0.95,
+        0.60, 4);
+
+    // Integer codes: fewer/shorter streams, irregular cold accesses,
+    // weak prefetch coverage.
+    add("vpr",     1.3, 11.0, 0.25, 2, 0.30, 8, 48, 0.010, 0.96,
+        0.15, 4);
+    add("parser",  1.2, 12.0, 0.30, 2, 0.30, 8, 64, 0.015, 0.97,
+        0.10, 4);
+    add("gap",     1.5, 11.0, 0.25, 3, 0.45, 8, 96, 0.010, 0.97,
+        0.20, 6);
+    add("vortex",  1.4, 12.0, 0.35, 2, 0.40, 8, 64, 0.010, 0.975,
+        0.15, 4);
+
+    // The two memory-intensive programs the paper *excludes* from
+    // its workloads (Section 4.2): art's miss rate flips between
+    // almost-zero and huge around a 2-4 MB L2, and mcf's IPC is so
+    // low it would dominate any average.  They are modelled here for
+    // custom experiments but appear in no Table 3 mix.
+    add("art",     1.0, 3.0, 0.15, 2, 0.55, 8, 5, 0.003, 0.60,
+        0.20, 4);
+    add("mcf",     0.6, 5.0, 0.20, 1, 0.15, 8, 160, 0.020, 0.75,
+        0.05, 4);
+
+    // Strided-sweep share per program: stencil and plane-walking
+    // codes (mgrid, applu, fma3d) touch memory with coarser strides;
+    // pointer-ish integer codes rarely walk densely either.
+    const struct { const char *name; double frac; } strides[] = {
+        {"wupwise", 0.3}, {"swim", 0.4}, {"mgrid", 0.6},
+        {"applu", 0.5},  {"equake", 0.4}, {"facerec", 0.4},
+        {"lucas", 0.3},  {"fma3d", 0.5},  {"vpr", 0.5},
+        {"parser", 0.5}, {"gap", 0.3},    {"vortex", 0.5},
+    };
+    for (auto &p : v) {
+        for (const auto &st : strides) {
+            if (p.name == st.name)
+                p.stride2Frac = st.frac;
+        }
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchProfile> &
+allProfiles()
+{
+    static const std::vector<BenchProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+const std::vector<BenchProfile> &
+paperSuite()
+{
+    static const std::vector<BenchProfile> suite = [] {
+        std::vector<BenchProfile> v = allProfiles();
+        v.resize(12);  // drop art and mcf (Section 4.2)
+        return v;
+    }();
+    return suite;
+}
+
+const BenchProfile &
+benchProfile(const std::string &name)
+{
+    for (const auto &p : allProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace fbdp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000 benchmark profiles.
+ *
+ * The paper drives its evaluation with twelve memory-intensive
+ * SPEC2000 programs (Alpha binaries under M5 with SimPoint sampling).
+ * Those binaries and traces are not reproducible offline, so each
+ * program is replaced by a parameterised synthetic generator whose
+ * *memory behaviour* matches the program's published character:
+ *
+ *  - floating-point array codes (wupwise, swim, mgrid, applu, equake,
+ *    facerec, lucas, fma3d) stream through large arrays with several
+ *    concurrent sequential streams, high spatial locality, and good
+ *    compiler software-prefetch coverage;
+ *  - integer codes (vpr, parser, gap, vortex) mix short streams with
+ *    irregular pointer-style accesses over a hot working set, little
+ *    spatial locality and poor prefetch coverage.
+ *
+ * The absolute numbers are calibrated so that aggregate bandwidth
+ * demand and L2 miss rates land in the ranges the paper's Figures 4-6
+ * imply; DESIGN.md documents the substitution.
+ */
+
+#ifndef FBDP_WORKLOAD_PROFILE_HH
+#define FBDP_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** Memory-behaviour parameters of one synthetic benchmark. */
+struct BenchProfile
+{
+    std::string name;
+
+    /** Non-memory IPC ceiling of the modelled core on this program. */
+    double baseIpc = 2.0;
+
+    /** Mean non-memory instructions between memory operations. */
+    double meanGap = 5.0;
+
+    /** Fraction of memory operations that are stores. */
+    double storeFrac = 0.3;
+
+    /** Concurrent sequential access streams. */
+    unsigned nStreams = 4;
+
+    /** Fraction of memory operations served by the streams. */
+    double streamFrac = 0.8;
+
+    /** Stream element size in bytes (stride). */
+    unsigned elemBytes = 8;
+
+    /** Total data footprint of this program. */
+    Addr footprint = 128ull << 20;
+
+    /** Probability that a stream access restarts at a random point. */
+    double jumpProb = 0.002;
+
+    /**
+     * Fraction of the streams that sweep with a two-line stride
+     * (stencil/plane walks): they touch every other cacheline, so
+     * only half of a prefetch region is ever useful to them.
+     */
+    double stride2Frac = 0.0;
+
+    /** Non-stream accesses hitting the small hot set (vs cold data). */
+    double hotFrac = 0.95;
+
+    /** Size of the hot set (mostly L2-resident). */
+    Addr hotBytes = 1ull << 20;
+
+    /**
+     * Software-prefetch coverage: probability that a stream's move to
+     * a new cacheline is accompanied by a compiler prefetch.
+     */
+    double spCoverage = 0.6;
+
+    /** Prefetch distance in cachelines ahead of the stream. */
+    unsigned spDistanceLines = 8;
+};
+
+/** Look up any profile by SPEC program name (fatal if unknown). */
+const BenchProfile &benchProfile(const std::string &name);
+
+/**
+ * All modelled profiles: the paper's twelve plus art and mcf (the
+ * two programs Section 4.2 excludes from the workload mixes).
+ */
+const std::vector<BenchProfile> &allProfiles();
+
+/** The twelve programs of the paper's suite, in its order. */
+const std::vector<BenchProfile> &paperSuite();
+
+} // namespace fbdp
+
+#endif // FBDP_WORKLOAD_PROFILE_HH

@@ -1,0 +1,102 @@
+#include "workload/trace_file.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+std::string
+formatTraceOp(const TraceOp &op)
+{
+    char kind = 'L';
+    if (op.kind == TraceOp::Kind::Store)
+        kind = 'S';
+    else if (op.kind == TraceOp::Kind::Prefetch)
+        kind = 'P';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%u %c %llx", op.gap, kind,
+                  static_cast<unsigned long long>(op.addr));
+    return buf;
+}
+
+bool
+parseTraceOp(const std::string &line, TraceOp *out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+    unsigned gap = 0;
+    char kind = 0;
+    unsigned long long addr = 0;
+    if (std::sscanf(line.c_str(), "%u %c %llx", &gap, &kind, &addr)
+        != 3) {
+        fatal("malformed trace line: '%s'", line.c_str());
+    }
+    out->gap = gap;
+    out->addr = static_cast<Addr>(addr);
+    switch (kind) {
+      case 'L':
+        out->kind = TraceOp::Kind::Load;
+        break;
+      case 'S':
+        out->kind = TraceOp::Kind::Store;
+        break;
+      case 'P':
+        out->kind = TraceOp::Kind::Prefetch;
+        break;
+      default:
+        fatal("unknown trace op kind '%c'", kind);
+    }
+    return true;
+}
+
+TraceRecorder::TraceRecorder(Generator *inner, const std::string &path)
+    : src(inner), out(path)
+{
+    fbdp_assert(src != nullptr, "recording a null generator");
+    if (!out)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+    out << "# fbdp trace: " << src->profile().name << "\n";
+}
+
+TraceOp
+TraceRecorder::next()
+{
+    TraceOp op = src->next();
+    out << formatTraceOp(op) << "\n";
+    ++nRecorded;
+    return op;
+}
+
+TraceFileGenerator::TraceFileGenerator(const std::string &path,
+                                       Addr base_addr)
+    : base(base_addr)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    prof.name = "trace:" + path;
+    std::string line;
+    TraceOp op;
+    while (std::getline(in, line)) {
+        if (parseTraceOp(line, &op))
+            ops.push_back(op);
+    }
+    if (ops.empty())
+        fatal("trace file '%s' contains no operations", path.c_str());
+}
+
+TraceOp
+TraceFileGenerator::next()
+{
+    TraceOp op = ops[cursor];
+    op.addr += base;
+    if (++cursor == ops.size()) {
+        cursor = 0;
+        ++nWraps;
+    }
+    return op;
+}
+
+} // namespace fbdp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * The synthetic generators are deterministic, but users often want to
+ * (a) inspect exactly what a core executed, (b) replay the identical
+ * access stream under a modified memory system, or (c) feed the
+ * simulator traces produced by other tools.  TraceRecorder tees any
+ * Generator to a text file; TraceFileGenerator replays such a file.
+ *
+ * Format: one operation per line, `<gap> <kind> <addr-hex>` where
+ * kind is L (load), S (store) or P (software prefetch).  Lines
+ * starting with '#' are comments.
+ */
+
+#ifndef FBDP_WORKLOAD_TRACE_FILE_HH
+#define FBDP_WORKLOAD_TRACE_FILE_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace fbdp {
+
+/** Pass-through generator that records every op to a file. */
+class TraceRecorder : public Generator
+{
+  public:
+    /**
+     * @param inner the generator to record (not owned)
+     * @param path  output trace file
+     */
+    TraceRecorder(Generator *inner, const std::string &path);
+
+    TraceOp next() override;
+    const BenchProfile &profile() const override
+    {
+        return src->profile();
+    }
+
+    std::uint64_t recorded() const { return nRecorded; }
+
+  private:
+    Generator *src;
+    std::ofstream out;
+    std::uint64_t nRecorded = 0;
+};
+
+/** Replays a recorded trace; loops back to the start at EOF. */
+class TraceFileGenerator : public Generator
+{
+  public:
+    /**
+     * @param path      trace file to replay
+     * @param base_addr offset added to every address (core slicing)
+     */
+    explicit TraceFileGenerator(const std::string &path,
+                                Addr base_addr = 0);
+
+    TraceOp next() override;
+    const BenchProfile &profile() const override { return prof; }
+
+    size_t size() const { return ops.size(); }
+    std::uint64_t wraps() const { return nWraps; }
+
+  private:
+    BenchProfile prof;
+    std::vector<TraceOp> ops;
+    size_t cursor = 0;
+    Addr base = 0;
+    std::uint64_t nWraps = 0;
+};
+
+/** Serialise one op in the trace-file format. */
+std::string formatTraceOp(const TraceOp &op);
+
+/** Parse one line; @return false for comments/blank lines. */
+bool parseTraceOp(const std::string &line, TraceOp *out);
+
+} // namespace fbdp
+
+#endif // FBDP_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests of the interleaving schemes, including the Figure 2
+ * layouts the paper illustrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mc/address_map.hh"
+
+namespace fbdp {
+namespace {
+
+AddressMapConfig
+baseCfg(Interleave s, unsigned k = 4)
+{
+    AddressMapConfig c;
+    c.channels = 2;
+    c.dimmsPerChannel = 4;
+    c.banksPerDimm = 4;
+    c.rowBytes = 8192;
+    c.regionLines = k;
+    c.scheme = s;
+    return c;
+}
+
+TEST(AddressMapTest, CachelineInterleaveRoundRobinsChannels)
+{
+    AddressMap m(baseCfg(Interleave::Cacheline));
+    for (unsigned i = 0; i < 16; ++i) {
+        DramCoord c = m.map(static_cast<Addr>(i) * lineBytes);
+        EXPECT_EQ(c.channel, i % 2) << "line " << i;
+    }
+}
+
+TEST(AddressMapTest, CachelineInterleaveSpreadsBanks)
+{
+    AddressMap m(baseCfg(Interleave::Cacheline));
+    // Consecutive lines on one channel walk all DIMMs then banks.
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (unsigned i = 0; i < 32; ++i) {
+        DramCoord c = m.map(static_cast<Addr>(i) * lineBytes);
+        seen.insert({c.dimm, c.bank});
+    }
+    EXPECT_EQ(seen.size(), 16u);  // 4 dimms x 4 banks
+}
+
+TEST(AddressMapTest, MultiCachelineKeepsRegionInOneBankRow)
+{
+    AddressMap m(baseCfg(Interleave::MultiCacheline, 4));
+    for (Addr region = 0; region < 64; ++region) {
+        DramCoord first = m.map(region * 4 * lineBytes);
+        for (unsigned j = 1; j < 4; ++j) {
+            DramCoord c = m.map((region * 4 + j) * lineBytes);
+            EXPECT_TRUE(first.samePage(c))
+                << "region " << region << " line " << j;
+            EXPECT_EQ(c.regionBase, region * 4 * lineBytes);
+            EXPECT_EQ(c.colLine, first.colLine + j);
+        }
+    }
+}
+
+TEST(AddressMapTest, MultiCachelineRoundRobinsGroups)
+{
+    AddressMap m(baseCfg(Interleave::MultiCacheline, 4));
+    DramCoord g0 = m.map(0);
+    DramCoord g1 = m.map(4 * lineBytes);
+    DramCoord g2 = m.map(8 * lineBytes);
+    EXPECT_EQ(g0.channel, 0u);
+    EXPECT_EQ(g1.channel, 1u);
+    EXPECT_EQ(g2.channel, 0u);
+    EXPECT_NE(g0.dimm, g2.dimm);  // next group on same channel moves
+}
+
+TEST(AddressMapTest, Figure2FourWayExample)
+{
+    // Figure 2: blocks 4,5,6,7 form one group; a demand on block 6
+    // prefetches 4, 5 and 7 from the same page.
+    AddressMap m(baseCfg(Interleave::MultiCacheline, 4));
+    DramCoord six = m.map(6 * lineBytes);
+    EXPECT_EQ(six.regionBase, 4 * lineBytes);
+    DramCoord four = m.map(4 * lineBytes);
+    DramCoord seven = m.map(7 * lineBytes);
+    EXPECT_TRUE(six.samePage(four));
+    EXPECT_TRUE(six.samePage(seven));
+}
+
+TEST(AddressMapTest, PageInterleaveKeepsRowTogether)
+{
+    AddressMap m(baseCfg(Interleave::Page));
+    const unsigned lines_per_row = 8192 / lineBytes;
+    DramCoord first = m.map(0);
+    for (unsigned j = 1; j < lines_per_row; ++j) {
+        DramCoord c = m.map(static_cast<Addr>(j) * lineBytes);
+        EXPECT_TRUE(first.samePage(c));
+        EXPECT_EQ(c.colLine, j);
+    }
+    DramCoord next = m.map(static_cast<Addr>(lines_per_row)
+                           * lineBytes);
+    EXPECT_FALSE(first.samePage(next));
+    EXPECT_EQ(next.channel, 1u);
+}
+
+TEST(AddressMapTest, PageInterleaveRegionWithinPage)
+{
+    AddressMap m(baseCfg(Interleave::Page, 4));
+    DramCoord c = m.map(6 * lineBytes);
+    EXPECT_EQ(c.regionBase, 4 * lineBytes);
+    // Region lines stay inside the page.
+    DramCoord r0 = m.map(c.regionBase);
+    EXPECT_TRUE(c.samePage(r0));
+}
+
+TEST(AddressMapTest, DistinctAddressesDistinctCoords)
+{
+    // Over a large window, (channel,dimm,bank,row,col) must be
+    // injective per line.
+    AddressMap m(baseCfg(Interleave::MultiCacheline, 4));
+    std::map<std::tuple<unsigned, unsigned, unsigned, std::uint64_t,
+                        unsigned>, Addr> seen;
+    for (Addr line = 0; line < 4096; ++line) {
+        DramCoord c = m.map(line * lineBytes);
+        auto key = std::make_tuple(c.channel, c.dimm, c.bank, c.row,
+                                   c.colLine);
+        auto [it, inserted] = seen.emplace(key, line);
+        EXPECT_TRUE(inserted)
+            << "collision between line " << line << " and "
+            << it->second;
+    }
+}
+
+TEST(AddressMapTest, RegionMustDivideRow)
+{
+    AddressMapConfig c = baseCfg(Interleave::MultiCacheline, 3);
+    EXPECT_DEATH(AddressMap m(c), "divide");
+}
+
+TEST(AddressMapTest, InterleaveNames)
+{
+    EXPECT_STREQ(interleaveName(Interleave::Cacheline), "cacheline");
+    EXPECT_STREQ(interleaveName(Interleave::MultiCacheline),
+                 "multi-cacheline");
+    EXPECT_STREQ(interleaveName(Interleave::Page), "page");
+}
+
+/** Property sweep: every scheme, every K, injective and in-bounds. */
+class AddressMapPropTest
+    : public ::testing::TestWithParam<std::tuple<Interleave, unsigned>>
+{
+};
+
+TEST_P(AddressMapPropTest, CoordsInBoundsAndRegionConsistent)
+{
+    auto [scheme, k] = GetParam();
+    AddressMap m(baseCfg(scheme, k));
+    for (Addr line = 0; line < 2048; ++line) {
+        const Addr a = line * lineBytes + (line % lineBytes);
+        DramCoord c = m.map(a);
+        EXPECT_LT(c.channel, 2u);
+        EXPECT_LT(c.dimm, 4u);
+        EXPECT_LT(c.bank, 4u);
+        EXPECT_LT(c.colLine, 8192u / lineBytes);
+        // The region base contains the address.
+        EXPECT_LE(c.regionBase, lineAlign(a));
+        EXPECT_LT(lineAlign(a), c.regionBase + k * lineBytes);
+        // Region base maps to the same bank (multi-CL and page).
+        if (scheme != Interleave::Cacheline) {
+            DramCoord rb = m.map(c.regionBase);
+            EXPECT_TRUE(rb.samePage(c));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AddressMapPropTest,
+    ::testing::Combine(::testing::Values(Interleave::Cacheline,
+                                         Interleave::MultiCacheline,
+                                         Interleave::Page),
+                       ::testing::Values(2u, 4u, 8u)));
+
+} // namespace
+} // namespace fbdp

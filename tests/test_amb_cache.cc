@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests of the AMB cache (the prefetch buffer): lookup, FIFO
+ * replacement, associativity variants, in-flight fills.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/amb_cache.hh"
+
+namespace fbdp {
+namespace {
+
+Addr
+line(unsigned i)
+{
+    return static_cast<Addr>(i) * lineBytes;
+}
+
+TEST(AmbCacheTest, MissOnEmpty)
+{
+    AmbCache c(64, 0);
+    EXPECT_EQ(c.lookup(line(1)), nullptr);
+    EXPECT_EQ(c.population(), 0u);
+}
+
+TEST(AmbCacheTest, InsertThenHit)
+{
+    AmbCache c(64, 0);
+    c.insert(line(5), 1234);
+    auto *l = c.lookup(line(5));
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->readyAt, 1234u);
+    EXPECT_EQ(c.population(), 1u);
+}
+
+TEST(AmbCacheTest, FullyAssociativeGeometry)
+{
+    AmbCache c(64, 0);
+    EXPECT_EQ(c.sets(), 1u);
+    EXPECT_EQ(c.ways(), 64u);
+    EXPECT_EQ(c.entries(), 64u);
+}
+
+TEST(AmbCacheTest, SetAssociativeGeometry)
+{
+    AmbCache c(64, 2);
+    EXPECT_EQ(c.sets(), 32u);
+    EXPECT_EQ(c.ways(), 2u);
+}
+
+TEST(AmbCacheTest, FifoEvictsOldestInsertion)
+{
+    AmbCache c(4, 0);
+    for (unsigned i = 0; i < 4; ++i)
+        c.insert(line(i), 0);
+    // Touch line 0 (a hit must NOT refresh FIFO order).
+    EXPECT_NE(c.lookup(line(0)), nullptr);
+    c.insert(line(10), 0);
+    EXPECT_EQ(c.lookup(line(0)), nullptr) << "oldest must go";
+    EXPECT_NE(c.lookup(line(1)), nullptr);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(AmbCacheTest, ReinsertRefreshesInPlaceWithoutEvicting)
+{
+    AmbCache c(4, 0);
+    for (unsigned i = 0; i < 4; ++i)
+        c.insert(line(i), 0);
+    c.insert(line(2), 777);  // already present
+    EXPECT_EQ(c.population(), 4u);
+    EXPECT_EQ(c.evictions(), 0u);
+    EXPECT_EQ(c.lookup(line(2))->readyAt, 777u);
+}
+
+TEST(AmbCacheTest, DirectMappedConflicts)
+{
+    AmbCache c(8, 1);  // 8 sets, 1 way
+    // Lines 0 and 8 collide in set 0.
+    c.insert(line(0), 0);
+    c.insert(line(8), 0);
+    EXPECT_EQ(c.lookup(line(0)), nullptr);
+    EXPECT_NE(c.lookup(line(8)), nullptr);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(AmbCacheTest, TwoWayToleratesOneConflict)
+{
+    AmbCache c(16, 2);  // 8 sets, 2 ways
+    c.insert(line(0), 0);
+    c.insert(line(8), 0);
+    EXPECT_NE(c.lookup(line(0)), nullptr);
+    EXPECT_NE(c.lookup(line(8)), nullptr);
+    c.insert(line(16), 0);  // third in set 0: evict FIFO (line 0)
+    EXPECT_EQ(c.lookup(line(0)), nullptr);
+    EXPECT_NE(c.lookup(line(8)), nullptr);
+    EXPECT_NE(c.lookup(line(16)), nullptr);
+}
+
+TEST(AmbCacheTest, InvalidatePresentAndAbsent)
+{
+    AmbCache c(64, 0);
+    c.insert(line(3), 0);
+    EXPECT_TRUE(c.invalidate(line(3)));
+    EXPECT_FALSE(c.invalidate(line(3)));
+    EXPECT_EQ(c.lookup(line(3)), nullptr);
+}
+
+TEST(AmbCacheTest, InvalidatedSlotReusedBeforeEviction)
+{
+    AmbCache c(2, 0);
+    c.insert(line(0), 0);
+    c.insert(line(1), 0);
+    c.invalidate(line(0));
+    c.insert(line(2), 0);
+    EXPECT_NE(c.lookup(line(1)), nullptr) << "no eviction needed";
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(AmbCacheTest, FillPendingSentinel)
+{
+    AmbCache c(64, 0);
+    c.insert(line(9), AmbCache::fillPending);
+    auto *l = c.lookup(line(9));
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->readyAt, AmbCache::fillPending);
+    l->readyAt = 4242;  // resolve
+    EXPECT_EQ(c.lookup(line(9))->readyAt, 4242u);
+}
+
+TEST(AmbCacheTest, ResetEmptiesAndClearsStats)
+{
+    AmbCache c(8, 0);
+    for (unsigned i = 0; i < 12; ++i)
+        c.insert(line(i), 0);
+    EXPECT_GT(c.evictions(), 0u);
+    c.reset();
+    EXPECT_EQ(c.population(), 0u);
+    EXPECT_EQ(c.insertions(), 0u);
+    EXPECT_EQ(c.evictions(), 0u);
+}
+
+/** Property: at any fill level, population never exceeds capacity and
+ *  lookups return exactly the most recent `entries` distinct lines
+ *  under pure-FIFO fully-associative insertion. */
+class AmbCacheFifoProp : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AmbCacheFifoProp, SlidingWindowSemantics)
+{
+    const unsigned cap = GetParam();
+    AmbCache c(cap, 0);
+    const unsigned total = cap * 3;
+    for (unsigned i = 0; i < total; ++i) {
+        c.insert(line(i), 0);
+        EXPECT_LE(c.population(), cap);
+        // The newest `cap` lines are present, older ones are not.
+        if (i >= cap)
+            EXPECT_EQ(c.lookup(line(i - cap)), nullptr);
+        EXPECT_NE(c.lookup(line(i)), nullptr);
+    }
+    EXPECT_EQ(c.evictions(), total - cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, AmbCacheFifoProp,
+                         ::testing::Values(4u, 32u, 64u, 128u));
+
+} // namespace
+} // namespace fbdp

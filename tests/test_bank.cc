@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests of the DRAM bank state machine against the paper's
+ * Table 2 timing parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+#include "dram/dram_timing.hh"
+
+namespace fbdp {
+namespace {
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    DramTiming t = DramTiming::forDataRate(667);
+    Bank bank{&t};
+};
+
+TEST_F(BankTest, PowerUpStateIsPrecharged)
+{
+    EXPECT_FALSE(bank.rowOpen());
+    EXPECT_EQ(bank.actAllowedAt(), 0u);
+}
+
+TEST_F(BankTest, ActivateOpensRowAndSetsTrcd)
+{
+    bank.activate(1000, 42);
+    EXPECT_TRUE(bank.rowOpen());
+    EXPECT_EQ(bank.openRow(), 42u);
+    EXPECT_EQ(bank.casAllowedAt(), 1000 + t.tRCD);
+    EXPECT_EQ(bank.preAllowedAt(), 1000 + t.tRAS);
+    EXPECT_EQ(bank.actAllowedAt(), 1000 + t.tRC);
+}
+
+TEST_F(BankTest, ReadDataEndIncludesCasLatencyAndBurst)
+{
+    bank.activate(0, 1);
+    Tick end = bank.read(t.tRCD, 1, false);
+    EXPECT_EQ(end, t.tRCD + t.tCL + t.burst);
+    EXPECT_TRUE(bank.rowOpen());
+}
+
+TEST_F(BankTest, AutoPrechargeClosesRowAtEarliestLegalPoint)
+{
+    bank.activate(0, 1);
+    bank.read(t.tRCD, 1, true);
+    EXPECT_FALSE(bank.rowOpen());
+    // Precharge time = max(tRAS, cas + tRPD); next ACT adds tRP and
+    // respects tRC.
+    const Tick pre_at = std::max(t.tRAS, t.tRCD + t.tRPD);
+    EXPECT_EQ(bank.actAllowedAt(),
+              std::max(t.tRC, pre_at + t.tRP));
+}
+
+TEST_F(BankTest, GroupReadSpacesCasByBurst)
+{
+    bank.activate(0, 7);
+    const unsigned k = 4;
+    Tick end = bank.read(t.tRCD, k, true);
+    EXPECT_EQ(end, t.tRCD + (k - 1) * t.casGap() + t.tCL + t.burst);
+    EXPECT_FALSE(bank.rowOpen());
+}
+
+TEST_F(BankTest, GroupReadDelaysPrechargeByLastCas)
+{
+    bank.activate(0, 7);
+    bank.read(t.tRCD, 4, true);
+    const Tick last_cas = t.tRCD + 3 * t.casGap();
+    // With four CASes the read-to-precharge from the last access
+    // dominates tRAS.
+    EXPECT_EQ(bank.actAllowedAt(),
+              std::max(t.tRC, last_cas + t.tRPD + t.tRP));
+}
+
+TEST_F(BankTest, WriteUsesWritePrechargeDelay)
+{
+    bank.activate(0, 3);
+    Tick end = bank.write(t.tRCD, true);
+    EXPECT_EQ(end, t.tRCD + t.tWL + t.burst);
+    EXPECT_FALSE(bank.rowOpen());
+    const Tick pre_at = std::max(t.tRAS, t.tRCD + t.tWPD);
+    EXPECT_EQ(bank.actAllowedAt(),
+              std::max(t.tRC, pre_at + t.tRP));
+}
+
+TEST_F(BankTest, OpenPageReadKeepsRowOpenForSecondAccess)
+{
+    bank.activate(0, 9);
+    bank.read(t.tRCD, 1, false);
+    EXPECT_TRUE(bank.rowOpen());
+    // Row hit: second read only waits for the CAS gap.
+    Tick second = bank.casAllowedAt();
+    EXPECT_EQ(second, t.tRCD + t.casGap());
+    bank.read(second, 1, false);
+    EXPECT_TRUE(bank.rowOpen());
+}
+
+TEST_F(BankTest, ExplicitPrechargeThenActivate)
+{
+    bank.activate(0, 9);
+    bank.read(t.tRCD, 1, false);
+    Tick pre = bank.preAllowedAt();
+    bank.precharge(pre);
+    EXPECT_FALSE(bank.rowOpen());
+    bank.activate(std::max(pre + t.tRP, t.tRC), 10);
+    EXPECT_EQ(bank.openRow(), 10u);
+}
+
+TEST_F(BankTest, ResetRestoresPowerUpState)
+{
+    bank.activate(0, 5);
+    bank.read(t.tRCD, 2, true);
+    bank.reset();
+    EXPECT_FALSE(bank.rowOpen());
+    EXPECT_EQ(bank.actAllowedAt(), 0u);
+}
+
+using BankDeathTest = BankTest;
+
+TEST_F(BankDeathTest, ActivateOpenBankPanics)
+{
+    bank.activate(0, 1);
+    EXPECT_DEATH(bank.activate(t.tRC, 2), "ACT to a bank");
+}
+
+TEST_F(BankDeathTest, EarlyReadPanics)
+{
+    bank.activate(0, 1);
+    EXPECT_DEATH(bank.read(t.tRCD - 1, 1, false), "RD at");
+}
+
+TEST_F(BankDeathTest, ReadPrechargedBankPanics)
+{
+    EXPECT_DEATH(bank.read(100, 1, false), "precharged");
+}
+
+TEST_F(BankDeathTest, EarlyPrechargePanics)
+{
+    bank.activate(0, 1);
+    EXPECT_DEATH(bank.precharge(t.tRAS - 1), "PRE at");
+}
+
+/** Timing invariants hold across data rates. */
+class BankRateTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BankRateTest, ReadTimelineScalesWithRate)
+{
+    DramTiming t = DramTiming::forDataRate(GetParam());
+    Bank bank(&t);
+    bank.activate(0, 1);
+    Tick end = bank.read(t.tRCD, 1, true);
+    EXPECT_EQ(end, t.tRCD + t.tCL + 2 * t.memCycle);
+    EXPECT_GE(bank.actAllowedAt(), t.tRC);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, BankRateTest,
+                         ::testing::Values(533u, 667u, 800u));
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests of the generic LRU tag array used for the L1s and L2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+namespace fbdp {
+namespace {
+
+Addr
+line(unsigned i)
+{
+    return static_cast<Addr>(i) * lineBytes;
+}
+
+TEST(CacheArrayTest, GeometryFromSizeAndWays)
+{
+    CacheArray c(64 * 1024, 2);
+    EXPECT_EQ(c.numSets(), 512u);
+    EXPECT_EQ(c.numWays(), 2u);
+    EXPECT_EQ(c.sizeBytes(), 64u * 1024u);
+}
+
+TEST(CacheArrayTest, MissThenInstallThenHit)
+{
+    CacheArray c(64 * 1024, 2);
+    EXPECT_EQ(c.lookup(line(1)), nullptr);
+    c.install(line(1), false);
+    EXPECT_NE(c.lookup(line(1)), nullptr);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(CacheArrayTest, LruEvictsLeastRecentlyUsed)
+{
+    CacheArray c(2 * lineBytes, 2);  // one set, two ways
+    c.install(line(0), false);
+    c.install(line(1), false);
+    c.lookup(line(0));  // make line 1 the LRU
+    auto v = c.install(line(2), false);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, line(1));
+    EXPECT_NE(c.lookup(line(0)), nullptr);
+    EXPECT_EQ(c.lookup(line(1)), nullptr);
+}
+
+TEST(CacheArrayTest, DirtyVictimReported)
+{
+    CacheArray c(2 * lineBytes, 2);
+    c.install(line(0), true);
+    c.install(line(1), false);
+    auto v = c.install(line(2), false);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, line(0));
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(CacheArrayTest, ReinstallRefreshesAndOrsDirty)
+{
+    CacheArray c(2 * lineBytes, 2);
+    c.install(line(0), false);
+    c.install(line(1), false);
+    auto v = c.install(line(0), true);  // refresh, set dirty
+    EXPECT_FALSE(v.valid);
+    auto v2 = c.install(line(2), false);  // evicts LRU == line 1
+    EXPECT_EQ(v2.lineAddr, line(1));
+    // Line 0 is still dirty.
+    c.lookup(line(0));
+    auto v3 = c.install(line(3), false);
+    EXPECT_EQ(v3.lineAddr, line(2));
+}
+
+TEST(CacheArrayTest, LookupWithoutTouchKeepsLru)
+{
+    CacheArray c(2 * lineBytes, 2);
+    c.install(line(0), false);
+    c.install(line(1), false);
+    c.lookup(line(0), /*touch=*/false);
+    // LRU is still line 0.
+    auto v = c.install(line(2), false);
+    EXPECT_EQ(v.lineAddr, line(0));
+}
+
+TEST(CacheArrayTest, InvalidateFreesSlot)
+{
+    CacheArray c(2 * lineBytes, 2);
+    c.install(line(0), false);
+    c.install(line(1), false);
+    EXPECT_TRUE(c.invalidate(line(0)));
+    EXPECT_FALSE(c.invalidate(line(0)));
+    auto v = c.install(line(2), false);
+    EXPECT_FALSE(v.valid) << "free slot, no eviction";
+}
+
+TEST(CacheArrayTest, SetsIsolateAddresses)
+{
+    CacheArray c(4 * lineBytes, 1);  // 4 sets, direct-mapped
+    c.install(line(0), false);
+    c.install(line(1), false);
+    c.install(line(4), false);  // conflicts with line 0
+    EXPECT_EQ(c.lookup(line(0)), nullptr);
+    EXPECT_NE(c.lookup(line(1)), nullptr);
+    EXPECT_NE(c.lookup(line(4)), nullptr);
+}
+
+TEST(CacheArrayTest, StatsResetSeparateFromContents)
+{
+    CacheArray c(64 * 1024, 2);
+    c.install(line(0), false);
+    c.lookup(line(0));
+    c.resetStats();
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_NE(c.lookup(line(0)), nullptr);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(CacheArrayTest, CapacityWorkloadNeverExceeds)
+{
+    CacheArray c(1024 * lineBytes, 4);
+    unsigned installed = 0;
+    unsigned evicted = 0;
+    for (unsigned i = 0; i < 4096; ++i) {
+        auto v = c.install(line(i * 7), false);
+        ++installed;
+        evicted += v.valid ? 1 : 0;
+    }
+    EXPECT_EQ(installed - evicted, 1024u) << "steady-state full";
+}
+
+} // namespace
+} // namespace fbdp

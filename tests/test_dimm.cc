@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests of the DIMM: cross-bank tRRD, write-to-read turnaround,
+ * and the operation counters the power model reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dimm.hh"
+
+namespace fbdp {
+namespace {
+
+class DimmTest : public ::testing::Test
+{
+  protected:
+    DramTiming t = DramTiming::forDataRate(667);
+    Dimm dimm{&t, 4};
+};
+
+TEST_F(DimmTest, HasRequestedBanks)
+{
+    EXPECT_EQ(dimm.numBanks(), 4u);
+}
+
+TEST_F(DimmTest, TrrdSeparatesActsAcrossBanks)
+{
+    dimm.activate(0, 1000, 1);
+    EXPECT_EQ(dimm.earliestAct(1, 0), 1000 + t.tRRD);
+    dimm.activate(1, 1000 + t.tRRD, 2);
+    EXPECT_EQ(dimm.earliestAct(2, 0), 1000 + 2 * t.tRRD);
+}
+
+TEST_F(DimmTest, SameBankActBoundByTrc)
+{
+    dimm.activate(0, 0, 1);
+    dimm.read(0, t.tRCD, 1, true);
+    EXPECT_GE(dimm.earliestAct(0, 0), t.tRC);
+}
+
+TEST_F(DimmTest, WriteToReadTurnaround)
+{
+    dimm.activate(0, 0, 1);
+    Tick wr_end = dimm.write(0, t.tRCD, true);
+    dimm.activate(1, t.tRRD, 2);
+    // A read on any bank of this DIMM must wait for tWTR after the
+    // write data finished.
+    EXPECT_GE(dimm.earliestRead(1, 0), wr_end + t.tWTR);
+}
+
+TEST_F(DimmTest, ReadDoesNotBlockWrites)
+{
+    dimm.activate(0, 0, 1);
+    dimm.read(0, t.tRCD, 1, true);
+    dimm.activate(1, t.tRRD, 2);
+    EXPECT_EQ(dimm.earliestWrite(1, 0),
+              dimm.bank(1).casAllowedAt());
+}
+
+TEST_F(DimmTest, CountersTrackOperations)
+{
+    dimm.activate(0, 0, 1);
+    dimm.read(0, t.tRCD, 4, true);  // group of 4
+    dimm.activate(1, t.tRRD, 2);
+    dimm.write(1, t.tRRD + t.tRCD, true);
+    const DramOpCounts &c = dimm.counts();
+    EXPECT_EQ(c.actPre, 2u);
+    EXPECT_EQ(c.rdCas, 4u);
+    EXPECT_EQ(c.wrCas, 1u);
+    EXPECT_EQ(c.cas(), 5u);
+}
+
+TEST_F(DimmTest, ResetCountsClears)
+{
+    dimm.activate(0, 0, 1);
+    dimm.read(0, t.tRCD, 1, true);
+    dimm.resetCounts();
+    EXPECT_EQ(dimm.counts().actPre, 0u);
+    EXPECT_EQ(dimm.counts().cas(), 0u);
+}
+
+TEST_F(DimmTest, CountsAccumulateAcrossAdd)
+{
+    DramOpCounts a;
+    a.actPre = 3;
+    a.rdCas = 5;
+    a.wrCas = 2;
+    DramOpCounts b;
+    b.actPre = 1;
+    b.rdCas = 1;
+    b.wrCas = 1;
+    a += b;
+    EXPECT_EQ(a.actPre, 4u);
+    EXPECT_EQ(a.rdCas, 6u);
+    EXPECT_EQ(a.wrCas, 3u);
+}
+
+TEST_F(DimmTest, IndependentBanksOverlapPipelines)
+{
+    // Two banks can have rows open simultaneously.
+    dimm.activate(0, 0, 1);
+    dimm.activate(1, t.tRRD, 2);
+    EXPECT_TRUE(dimm.bank(0).rowOpen());
+    EXPECT_TRUE(dimm.bank(1).rowOpen());
+    Tick e0 = dimm.read(0, t.tRCD, 1, true);
+    Tick e1 = dimm.read(1, t.tRRD + t.tRCD, 1, true);
+    EXPECT_GT(e1, e0);
+}
+
+TEST_F(DimmTest, EarliestQueriesRespectNotBefore)
+{
+    EXPECT_EQ(dimm.earliestAct(0, 12345), 12345u);
+    dimm.activate(0, 12345, 1);
+    EXPECT_EQ(dimm.earliestRead(0, 99999999),
+              99999999u);
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the DDR2 timing parameters (Table 2 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_timing.hh"
+
+namespace fbdp {
+namespace {
+
+TEST(DramTimingTest, Table2ValuesInTicks)
+{
+    DramTiming t;
+    EXPECT_EQ(t.tRP, 15000u);
+    EXPECT_EQ(t.tRCD, 15000u);
+    EXPECT_EQ(t.tCL, 15000u);
+    EXPECT_EQ(t.tRC, 54000u);
+    EXPECT_EQ(t.tRRD, 9000u);
+    EXPECT_EQ(t.tRPD, 9000u);
+    EXPECT_EQ(t.tWTR, 9000u);
+    EXPECT_EQ(t.tRAS, 39000u);
+    EXPECT_EQ(t.tWL, 12000u);
+    EXPECT_EQ(t.tWPD, 36000u);
+}
+
+TEST(DramTimingTest, TrcEqualsTrasPlusTrp)
+{
+    // Sanity: the Table 2 values satisfy the classic identity.
+    DramTiming t;
+    EXPECT_EQ(t.tRC, t.tRAS + t.tRP);
+}
+
+TEST(DramTimingTest, MemCyclePerDataRate)
+{
+    EXPECT_EQ(DramTiming::forDataRate(533).memCycle, 3750u);
+    EXPECT_EQ(DramTiming::forDataRate(667).memCycle, 3000u);
+    EXPECT_EQ(DramTiming::forDataRate(800).memCycle, 2500u);
+}
+
+TEST(DramTimingTest, BurstIsTwoCycles)
+{
+    for (unsigned rate : {533u, 667u, 800u}) {
+        DramTiming t = DramTiming::forDataRate(rate);
+        EXPECT_EQ(t.burst, 2 * t.memCycle);
+        EXPECT_EQ(t.casGap(), t.burst);
+    }
+}
+
+TEST(DramTimingTest, UnsupportedRateIsFatal)
+{
+    EXPECT_DEATH(DramTiming::forDataRate(1066), "unsupported");
+}
+
+TEST(DramTimingTest, UnitHelpers)
+{
+    EXPECT_EQ(nsToTicks(15), 15000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(63000), 63.0);
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_EQ(lineIndex(0x12345), 0x48Du);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(floorLog2(64), 6u);
+}
+
+} // namespace
+} // namespace fbdp

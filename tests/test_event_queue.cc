@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the event-driven simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace fbdp {
+namespace {
+
+TEST(EventQueueTest, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueTest, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event a([&] { order.push_back(1); });
+    Event b([&] { order.push_back(2); });
+    Event c([&] { order.push_back(3); });
+    eq.schedule(&c, 300);
+    eq.schedule(&a, 100);
+    eq.schedule(&b, 200);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueueTest, SameTickOrderedByPriorityThenSeq)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event data([&] { order.push_back(0); }, Event::prioData);
+    Event cpu([&] { order.push_back(2); }, Event::prioCpu);
+    Event def([&] { order.push_back(1); });
+    eq.schedule(&cpu, 50);
+    eq.schedule(&def, 50);
+    eq.schedule(&data, 50);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, SameTickSamePriorityFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event a([&] { order.push_back(1); });
+    Event b([&] { order.push_back(2); });
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 10);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event a([&] { ++fired; });
+    eq.schedule(&a, 100);
+    eq.schedule(&a, 500);  // move
+    Event marker([] {});
+    eq.schedule(&marker, 200);
+    eq.run(200);
+    EXPECT_EQ(fired, 0);  // not yet
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueueTest, DescheduleCancels)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event a([&] { ++fired; });
+    eq.schedule(&a, 100);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, DescheduleIdempotent)
+{
+    EventQueue eq;
+    Event a([] {});
+    eq.deschedule(&a);  // never scheduled: no-op
+    eq.schedule(&a, 10);
+    eq.deschedule(&a);
+    eq.deschedule(&a);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, EventCanRescheduleItself)
+{
+    EventQueue eq;
+    int count = 0;
+    Event *pa = nullptr;
+    Event a([&] {
+        ++count;
+        if (count < 5)
+            eq.schedule(pa, eq.now() + 10);
+    });
+    pa = &a;
+    eq.schedule(&a, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueueTest, RunWithLimitStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event a([&] { ++fired; });
+    eq.schedule(&a, 1000);
+    eq.run(500);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 500u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, ScheduledFlagTracksLifecycle)
+{
+    EventQueue eq;
+    Event a([] {});
+    EXPECT_FALSE(a.scheduled());
+    eq.schedule(&a, 10);
+    EXPECT_TRUE(a.scheduled());
+    EXPECT_EQ(a.when(), 10u);
+    eq.run();
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueueTest, DispatchCountsEvents)
+{
+    EventQueue eq;
+    Event a([] {});
+    Event b([] {});
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 2u);
+}
+
+TEST(EventQueueTest, ScheduleAtCurrentTickAllowed)
+{
+    EventQueue eq;
+    Event first([] {});
+    eq.schedule(&first, 100);
+    eq.step();
+    int fired = 0;
+    Event now_ev([&] { ++fired; });
+    eq.schedule(&now_ev, eq.now());
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    std::vector<std::unique_ptr<Event>> events;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 1000; ++i) {
+        events.push_back(std::make_unique<Event>([&eq, &last,
+                                                  &monotonic] {
+            if (eq.now() < last)
+                monotonic = false;
+            last = eq.now();
+        }));
+        eq.schedule(events.back().get(),
+                    static_cast<Tick>((i * 37) % 501));
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(eq.dispatched(), 1000u);
+}
+
+} // namespace
+} // namespace fbdp

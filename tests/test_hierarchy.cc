@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests of the cache hierarchy: hit/miss paths, MSHR merging and
+ * blocking, writebacks, software prefetch, functional warm-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "sim/event_queue.hh"
+
+namespace fbdp {
+namespace {
+
+/** Scripted memory: records requests, completes them on demand. */
+class FakeMemory : public MemoryIface
+{
+  public:
+    struct Req {
+        Addr line;
+        int core;
+        bool prefetch;
+        std::function<void(Tick)> done;
+    };
+
+    void
+    read(Addr line_addr, int core_id, bool sw_prefetch,
+         std::function<void(Tick)> done) override
+    {
+        reads.push_back({line_addr, core_id, sw_prefetch,
+                         std::move(done)});
+    }
+
+    void
+    write(Addr line_addr, int core_id) override
+    {
+        writes.push_back({line_addr, core_id, false, nullptr});
+    }
+
+    void
+    completeAll(Tick when)
+    {
+        auto pending = std::move(reads);
+        reads.clear();
+        for (auto &r : pending)
+            r.done(when);
+    }
+
+    std::vector<Req> reads;
+    std::vector<Req> writes;
+};
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+    {
+        cfg.l1Bytes = 4 * 1024;  // small caches to force evictions
+        cfg.l2Bytes = 16 * 1024;
+        cfg.l1Mshrs = 4;
+        cfg.l2Mshrs = 4;
+        hier = std::make_unique<CacheHierarchy>(&eq, 2, cfg, &mem);
+    }
+
+    Addr line(unsigned i) { return static_cast<Addr>(i) * lineBytes; }
+
+    EventQueue eq;
+    HierConfig cfg;
+    FakeMemory mem;
+    std::unique_ptr<CacheHierarchy> hier;
+};
+
+TEST_F(HierarchyTest, ColdLoadMissesToMemory)
+{
+    auto r = hier->access(0, line(1), false, [](Tick) {});
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::Miss);
+    ASSERT_EQ(mem.reads.size(), 1u);
+    EXPECT_EQ(mem.reads[0].line, line(1));
+    EXPECT_FALSE(mem.reads[0].prefetch);
+}
+
+TEST_F(HierarchyTest, FillMakesL1Hit)
+{
+    int done = 0;
+    hier->access(0, line(1), false, [&](Tick) { ++done; });
+    mem.completeAll(100);
+    EXPECT_EQ(done, 1);
+    auto r = hier->access(0, line(1), false, nullptr);
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::L1Hit);
+}
+
+TEST_F(HierarchyTest, OtherCoreHitsInL2)
+{
+    hier->access(0, line(1), false, [](Tick) {});
+    mem.completeAll(100);
+    auto r = hier->access(1, line(1), false, nullptr);
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::L2Hit);
+    EXPECT_EQ(r.doneAt, eq.now() + cfg.l2HitLatency);
+}
+
+TEST_F(HierarchyTest, SameLineMissesMerge)
+{
+    int done = 0;
+    hier->access(0, line(1), false, [&](Tick) { ++done; });
+    hier->access(1, line(1), false, [&](Tick) { ++done; });
+    EXPECT_EQ(mem.reads.size(), 1u) << "second miss must merge";
+    mem.completeAll(100);
+    EXPECT_EQ(done, 2);
+}
+
+TEST_F(HierarchyTest, L2MshrFullBlocks)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        hier->access(0, line(10 + i), false, [](Tick) {});
+    auto r = hier->access(0, line(99), false, [](Tick) {});
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::Blocked);
+    // Completion frees space and pokes the retry hook.
+    bool poked = false;
+    hier->setRetryHook(0, [&] { poked = true; });
+    mem.completeAll(100);
+    EXPECT_TRUE(poked);
+    auto r2 = hier->access(0, line(99), false, [](Tick) {});
+    EXPECT_EQ(r2.outcome, CacheHierarchy::Outcome::Miss);
+}
+
+TEST_F(HierarchyTest, PerCoreL1MshrLimitBlocks)
+{
+    // Use prefetch-free demand misses from one core only; the L1
+    // limit (4) binds before the L2 limit in this config... they are
+    // equal, so lower the pressure by completing L2 entries.
+    HierConfig c2 = cfg;
+    c2.l1Mshrs = 2;
+    c2.l2Mshrs = 8;
+    CacheHierarchy h(&eq, 1, c2, &mem);
+    h.access(0, line(1), false, [](Tick) {});
+    h.access(0, line(2), false, [](Tick) {});
+    auto r = h.access(0, line(3), false, [](Tick) {});
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::Blocked);
+    EXPECT_EQ(h.l1Outstanding(0), 2u);
+}
+
+TEST_F(HierarchyTest, StoreMissIsRfoAndInstallsDirty)
+{
+    hier->access(0, line(1), true, [](Tick) {});
+    ASSERT_EQ(mem.reads.size(), 1u) << "RFO read";
+    mem.completeAll(100);
+    // Evict line(1) from tiny L1 by filling its set; the dirty line
+    // must eventually reach memory as a write via L2 eviction.
+    const unsigned l1_sets = 4 * 1024 / (2 * lineBytes);
+    for (unsigned k = 1; k <= 40; ++k) {
+        hier->access(0, line(1 + k * l1_sets), false, [](Tick) {});
+        mem.completeAll(200 + k);
+    }
+    EXPECT_GT(mem.writes.size(), 0u) << "dirty data must writeback";
+}
+
+TEST_F(HierarchyTest, PrefetchAllocatesAndInstallsL2Only)
+{
+    hier->prefetch(0, line(5));
+    ASSERT_EQ(mem.reads.size(), 1u);
+    EXPECT_TRUE(mem.reads[0].prefetch);
+    mem.completeAll(100);
+    auto r = hier->access(0, line(5), false, nullptr);
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::L2Hit)
+        << "prefetch fills L2, not L1";
+}
+
+TEST_F(HierarchyTest, PrefetchDroppedWhenRedundant)
+{
+    hier->access(0, line(5), false, [](Tick) {});
+    hier->prefetch(0, line(5));  // already in flight
+    EXPECT_EQ(mem.reads.size(), 1u);
+    EXPECT_EQ(hier->prefetchesDropped(), 1u);
+    mem.completeAll(100);
+    hier->prefetch(0, line(5));  // now resident
+    EXPECT_EQ(mem.reads.size(), 0u);
+    EXPECT_EQ(hier->prefetchesDropped(), 2u);
+}
+
+TEST_F(HierarchyTest, PrefetchDroppedWhenMshrsFull)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        hier->access(0, line(10 + i), false, [](Tick) {});
+    hier->prefetch(0, line(50));
+    EXPECT_EQ(hier->prefetchesDropped(), 1u);
+    EXPECT_EQ(mem.reads.size(), 4u);
+}
+
+TEST_F(HierarchyTest, PrefetchDoesNotOccupyCoreMshrs)
+{
+    hier->prefetch(0, line(5));
+    EXPECT_EQ(hier->l1Outstanding(0), 0u);
+}
+
+TEST_F(HierarchyTest, FunctionalWarmupInstallsWithoutTraffic)
+{
+    hier->functionalAccess(0, line(7), false);
+    EXPECT_TRUE(mem.reads.empty());
+    auto r = hier->access(0, line(7), false, nullptr);
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::L1Hit);
+}
+
+TEST_F(HierarchyTest, FunctionalPrefetchWarmsL2)
+{
+    hier->functionalPrefetch(0, line(8));
+    auto r = hier->access(0, line(8), false, nullptr);
+    EXPECT_EQ(r.outcome, CacheHierarchy::Outcome::L2Hit);
+}
+
+TEST_F(HierarchyTest, StatCountersTrack)
+{
+    hier->access(0, line(1), false, [](Tick) {});
+    mem.completeAll(1);
+    hier->access(0, line(1), false, nullptr);
+    EXPECT_EQ(hier->l1Hits(0), 1u);
+    EXPECT_GE(hier->l1Misses(0), 1u);
+    EXPECT_EQ(hier->memReads(), 1u);
+    hier->resetStats();
+    EXPECT_EQ(hier->l1Hits(0), 0u);
+    EXPECT_EQ(hier->memReads(), 0u);
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cross-module integration tests: paper-level properties that only
+ * hold when all the pieces cooperate — latency orderings between the
+ * three machines, AP coverage bounds, power accounting consistency,
+ * bandwidth conservation, sensitivity orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workload/mixes.hh"
+
+namespace fbdp {
+namespace {
+
+SystemConfig
+quick(SystemConfig c)
+{
+    c.warmupInsts = 20'000;
+    c.measureInsts = 120'000;
+    return c;
+}
+
+RunResult
+run(const SystemConfig &c, const char *mix)
+{
+    return runMix(quick(c), mixByName(mix));
+}
+
+TEST(IntegrationTest, IdleLatencyOrderingApLtDdr2LtFbd)
+{
+    // Light workload: observed latencies sit near the idle values,
+    // so AP < DDR2 < FBD (33 < 57 < 63 ns plus queueing).
+    auto ap = run(SystemConfig::fbdAp(), "1C-parser");
+    auto dd = run(SystemConfig::ddr2(), "1C-parser");
+    auto fb = run(SystemConfig::fbdBase(), "1C-parser");
+    EXPECT_LT(ap.avgReadLatencyNs, dd.avgReadLatencyNs);
+    EXPECT_LT(dd.avgReadLatencyNs, fb.avgReadLatencyNs);
+}
+
+TEST(IntegrationTest, ApNeverLosesOnAnyGroupAverage)
+{
+    // Paper: "no workload has negative speedup".  Checked on one mix
+    // from each group (full sweep lives in bench/fig07).
+    for (const char *mix : {"1C-swim", "2C-1", "4C-2", "8C-3"}) {
+        auto base = run(SystemConfig::fbdBase(), mix);
+        auto ap = run(SystemConfig::fbdAp(), mix);
+        EXPECT_GT(ap.ipcSum(), base.ipcSum() * 0.995) << mix;
+    }
+}
+
+TEST(IntegrationTest, CoverageWithinTheoreticalBound)
+{
+    for (unsigned k : {2u, 4u, 8u}) {
+        SystemConfig c = quick(SystemConfig::fbdAp());
+        c.regionLines = k;
+        auto r = runMix(c, mixByName("1C-swim"));
+        const double bound = (k - 1.0) / k;
+        EXPECT_LE(r.coverage, bound + 1e-9) << "K=" << k;
+        EXPECT_GT(r.coverage, 0.0);
+    }
+}
+
+TEST(IntegrationTest, LargerKRaisesCoverageLowersEfficiency)
+{
+    // The paper observes this trade-off under multiprogrammed
+    // pressure (Fig. 8); at eight cores the dead-prefetch cost of
+    // K=8 is unambiguous.
+    SystemConfig c2 = quick(SystemConfig::fbdAp());
+    c2.regionLines = 2;
+    SystemConfig c8 = quick(SystemConfig::fbdAp());
+    c8.regionLines = 8;
+    auto r2 = runMix(c2, mixByName("8C-1"));
+    auto r8 = runMix(c8, mixByName("8C-1"));
+    EXPECT_GT(r8.coverage, r2.coverage);
+    EXPECT_LT(r8.efficiency, r2.efficiency);
+}
+
+TEST(IntegrationTest, ApReducesActivationsRaisesColumnAccesses)
+{
+    auto base = run(SystemConfig::fbdBase(), "2C-1");
+    auto ap = run(SystemConfig::fbdAp(), "2C-1");
+    const double act_per_line_base =
+        static_cast<double>(base.ops.actPre)
+        / static_cast<double>(base.reads + base.writes);
+    const double act_per_line_ap =
+        static_cast<double>(ap.ops.actPre)
+        / static_cast<double>(ap.reads + ap.writes);
+    EXPECT_LT(act_per_line_ap, act_per_line_base);
+    const double cas_per_line_base =
+        static_cast<double>(base.ops.cas())
+        / static_cast<double>(base.reads + base.writes);
+    const double cas_per_line_ap =
+        static_cast<double>(ap.ops.cas())
+        / static_cast<double>(ap.reads + ap.writes);
+    EXPECT_GT(cas_per_line_ap, cas_per_line_base);
+}
+
+TEST(IntegrationTest, ClosePageOpCountsAreConsistent)
+{
+    // Without AP, close page: exactly one ACT/PRE and one CAS per
+    // memory transaction.
+    auto r = run(SystemConfig::fbdBase(), "1C-gap");
+    EXPECT_EQ(r.ops.actPre, r.ops.cas());
+    // Completions lag arrivals across the window edge slightly.
+    const double lines = static_cast<double>(r.reads + r.writes);
+    EXPECT_NEAR(static_cast<double>(r.ops.cas()), lines,
+                lines * 0.02);
+}
+
+TEST(IntegrationTest, BandwidthConservation)
+{
+    // Utilized bandwidth equals 64 B per served transaction over the
+    // window.
+    auto r = run(SystemConfig::fbdBase(), "4C-1");
+    const double seconds = static_cast<double>(r.measuredTicks)
+        * 1e-12;
+    const double expect = static_cast<double>(r.reads + r.writes)
+        * lineBytes / 1e9 / seconds;
+    EXPECT_NEAR(r.bandwidthGBs, expect, expect * 0.01);
+}
+
+TEST(IntegrationTest, SwPrefetchingHelpsFbd)
+{
+    SystemConfig no_sp = quick(SystemConfig::fbdBase());
+    no_sp.swPrefetch = false;
+    auto off = runMix(no_sp, mixByName("1C-swim"));
+    auto on = run(SystemConfig::fbdBase(), "1C-swim");
+    EXPECT_GT(on.ipcSum(), off.ipcSum());
+}
+
+TEST(IntegrationTest, MoreChannelsNeverHurt)
+{
+    SystemConfig one = quick(SystemConfig::fbdBase());
+    one.logicChannels = 1;
+    SystemConfig four = quick(SystemConfig::fbdBase());
+    four.logicChannels = 4;
+    auto r1 = runMix(one, mixByName("4C-1"));
+    auto r4 = runMix(four, mixByName("4C-1"));
+    EXPECT_GT(r4.ipcSum(), r1.ipcSum() * 0.98);
+}
+
+TEST(IntegrationTest, HigherDataRateNeverHurts)
+{
+    SystemConfig slow = quick(SystemConfig::fbdBase());
+    slow.dataRate = 533;
+    SystemConfig fast = quick(SystemConfig::fbdBase());
+    fast.dataRate = 800;
+    auto rs = runMix(slow, mixByName("4C-1"));
+    auto rf = runMix(fast, mixByName("4C-1"));
+    EXPECT_GT(rf.ipcSum(), rs.ipcSum() * 0.98);
+}
+
+TEST(IntegrationTest, ApflSitsBetweenFbdAndAp)
+{
+    SystemConfig fl = quick(SystemConfig::fbdAp());
+    fl.apFullLatency = true;
+    auto base = run(SystemConfig::fbdBase(), "2C-2");
+    auto apfl = runMix(fl, mixByName("2C-2"));
+    auto ap = run(SystemConfig::fbdAp(), "2C-2");
+    EXPECT_GE(apfl.ipcSum(), base.ipcSum() * 0.99);
+    EXPECT_GE(ap.ipcSum(), apfl.ipcSum() * 0.99);
+}
+
+TEST(IntegrationTest, PowerSavingMaterialisesOnStreamingMix)
+{
+    PowerModel pm;
+    auto base = run(SystemConfig::fbdBase(), "1C-swim");
+    auto ap = run(SystemConfig::fbdAp(), "1C-swim");
+    const double rel = pm.relativeDynamicEnergy(
+        ap.ops, ap.totalInsts(), base.ops, base.totalInsts());
+    EXPECT_LT(rel, 1.0) << "AP must save DRAM energy on streams";
+    EXPECT_GT(rel, 0.4);
+}
+
+TEST(IntegrationTest, VrlChangesLatencyNotCorrectness)
+{
+    SystemConfig v = quick(SystemConfig::fbdBase());
+    v.vrl = true;
+    auto rv = runMix(v, mixByName("1C-lucas"));
+    auto r = run(SystemConfig::fbdBase(), "1C-lucas");
+    EXPECT_LT(rv.avgReadLatencyNs, r.avgReadLatencyNs);
+    EXPECT_GT(rv.ipcSum(), r.ipcSum() * 0.99);
+}
+
+TEST(IntegrationTest, EightDimmChannelsWork)
+{
+    SystemConfig c = quick(SystemConfig::fbdAp());
+    c.dimmsPerChannel = 8;
+    auto r = runMix(c, mixByName("2C-3"));
+    EXPECT_GT(r.ipcSum(), 0.0);
+    EXPECT_GT(r.coverage, 0.0);
+}
+
+TEST(IntegrationTest, MeasurementWindowIsCleanAcrossPhases)
+{
+    // Stats must reflect only the measured phase: a run with twice
+    // the measure window roughly doubles reads, not more.
+    SystemConfig a = quick(SystemConfig::fbdBase());
+    SystemConfig b = quick(SystemConfig::fbdBase());
+    b.measureInsts = 240'000;
+    auto ra = runMix(a, mixByName("1C-applu"));
+    auto rb = runMix(b, mixByName("1C-applu"));
+    const double ratio = static_cast<double>(rb.reads)
+        / static_cast<double>(ra.reads);
+    EXPECT_NEAR(ratio, 2.0, 0.4);
+}
+
+} // namespace
+} // namespace fbdp

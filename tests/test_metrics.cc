@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reporting helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/metrics.hh"
+
+namespace fbdp {
+namespace {
+
+TEST(MetricsTest, FmtD)
+{
+    EXPECT_EQ(fmtD(1.23456), "1.235");
+    EXPECT_EQ(fmtD(1.0, 1), "1.0");
+    EXPECT_EQ(fmtD(-0.5, 2), "-0.50");
+}
+
+TEST(MetricsTest, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.16), "16.0%");
+    EXPECT_EQ(fmtPct(-0.015), "-1.5%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(MetricsTest, MeanOf)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(meanOf({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MetricsTest, TextTableAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "2.345"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    // The separator row is all dashes.
+    const auto first_nl = s.find('\n');
+    const auto second_nl = s.find('\n', first_nl + 1);
+    const std::string sep =
+        s.substr(first_nl + 1, second_nl - first_nl - 1);
+    EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+    // Both data rows start at column 0 with their first cell.
+    EXPECT_NE(s.find("longer-name  2.345"), std::string::npos);
+}
+
+TEST(MetricsTest, TextTableRejectsRaggedRows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(MetricsTest, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests of the Table 3 workload mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/mixes.hh"
+#include "workload/profile.hh"
+
+namespace fbdp {
+namespace {
+
+TEST(MixesTest, GroupSizes)
+{
+    EXPECT_EQ(singleCoreMixes().size(), 12u);
+    EXPECT_EQ(dualCoreMixes().size(), 6u);
+    EXPECT_EQ(quadCoreMixes().size(), 6u);
+    EXPECT_EQ(octoCoreMixes().size(), 3u);
+}
+
+TEST(MixesTest, CoreCountsMatchGroup)
+{
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+        for (const auto &m : mixesFor(c))
+            EXPECT_EQ(m.benches.size(), c) << m.name;
+    }
+}
+
+TEST(MixesTest, Table3Contents)
+{
+    const WorkloadMix &m = mixByName("2C-1");
+    EXPECT_EQ(m.benches,
+              (std::vector<std::string>{"wupwise", "swim"}));
+    const WorkloadMix &q = mixByName("4C-4");
+    EXPECT_EQ(q.benches,
+              (std::vector<std::string>{"wupwise", "mgrid", "vpr",
+                                        "facerec"}));
+    const WorkloadMix &o = mixByName("8C-3");
+    EXPECT_EQ(o.benches,
+              (std::vector<std::string>{"vpr", "equake", "facerec",
+                                        "lucas", "fma3d", "parser",
+                                        "gap", "vortex"}));
+}
+
+TEST(MixesTest, EveryBenchInEveryMixHasProfile)
+{
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+        for (const auto &m : mixesFor(c)) {
+            for (const auto &b : m.benches)
+                EXPECT_EQ(benchProfile(b).name, b);
+        }
+    }
+}
+
+TEST(MixesTest, NoDuplicateWithinMix)
+{
+    for (unsigned c : {1u, 2u, 4u, 8u}) {
+        for (const auto &m : mixesFor(c)) {
+            std::set<std::string> s(m.benches.begin(),
+                                    m.benches.end());
+            EXPECT_EQ(s.size(), m.benches.size()) << m.name;
+        }
+    }
+}
+
+TEST(MixesTest, EightCoreMixesCoverWholeSuite)
+{
+    // 8C-1 + 8C-2 + 8C-3 together run every program twice (Table 3).
+    std::map<std::string, int> count;
+    for (const auto &m : octoCoreMixes()) {
+        for (const auto &b : m.benches)
+            ++count[b];
+    }
+    EXPECT_EQ(count.size(), 12u);
+    for (const auto &[name, n] : count)
+        EXPECT_EQ(n, 2) << name;
+}
+
+TEST(MixesTest, UnknownNamesAreFatal)
+{
+    EXPECT_DEATH(mixByName("9C-1"), "unknown workload");
+    EXPECT_DEATH(mixesFor(3), "no workload mixes");
+}
+
+} // namespace
+} // namespace fbdp

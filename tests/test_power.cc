@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Power-model tests (Section 5.5 calibration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace fbdp {
+namespace {
+
+DramOpCounts
+counts(std::uint64_t act, std::uint64_t rd, std::uint64_t wr = 0)
+{
+    DramOpCounts c;
+    c.actPre = act;
+    c.rdCas = rd;
+    c.wrCas = wr;
+    return c;
+}
+
+TEST(PowerModelTest, FourToOneRatio)
+{
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.actPreToCasRatio(), 4.0);
+    EXPECT_DOUBLE_EQ(pm.dynamicEnergy(counts(1, 0)), 4.0);
+    EXPECT_DOUBLE_EQ(pm.dynamicEnergy(counts(0, 1)), 1.0);
+    EXPECT_DOUBLE_EQ(pm.dynamicEnergy(counts(10, 5, 5)), 50.0);
+}
+
+TEST(PowerModelTest, ClosePageBaselineEnergy)
+{
+    // Close page: every access is one ACT/PRE + one CAS = 5 units.
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.dynamicEnergy(counts(100, 70, 30)), 500.0);
+}
+
+TEST(PowerModelTest, GroupFetchTradeoff)
+{
+    PowerModel pm;
+    // 100 reads, close page, no prefetching: 100 ACT + 100 CAS.
+    const double base = pm.dynamicEnergy(counts(100, 100));
+    // K=4 region fetching at 75% coverage: 25 ACTs, 100 CASes.
+    const double ap = pm.dynamicEnergy(counts(25, 100));
+    EXPECT_LT(ap, base);
+    EXPECT_DOUBLE_EQ(ap / base, 0.4);
+}
+
+TEST(PowerModelTest, UselessPrefetchesCanRaiseEnergy)
+{
+    PowerModel pm;
+    const double base = pm.dynamicEnergy(counts(100, 100));
+    // K=8, zero coverage: ACT count unchanged, 8x column accesses.
+    const double ap = pm.dynamicEnergy(counts(100, 800));
+    EXPECT_GT(ap, base);
+}
+
+TEST(PowerModelTest, RelativeDynamicPowerScalesWithTime)
+{
+    PowerModel pm;
+    DramOpCounts same = counts(100, 100);
+    // Same work in half the time = double the power.
+    EXPECT_DOUBLE_EQ(
+        pm.relativeDynamicPower(same, 500, same, 1000), 2.0);
+}
+
+TEST(PowerModelTest, RelativeDynamicEnergyNormalisesWork)
+{
+    PowerModel pm;
+    DramOpCounts a = counts(50, 100);
+    DramOpCounts b = counts(100, 100);
+    // Same instruction count: pure op-mix comparison.
+    const double r = pm.relativeDynamicEnergy(a, 1e6, b, 1e6);
+    EXPECT_DOUBLE_EQ(r, 300.0 / 500.0);
+    // Twice the instructions with the same ops halves per-inst energy.
+    EXPECT_DOUBLE_EQ(pm.relativeDynamicEnergy(b, 2e6, b, 1e6), 0.5);
+}
+
+TEST(PowerModelTest, StaticShareDampsTotalPowerRatio)
+{
+    PowerModel pm(4.0, 0.175);
+    DramOpCounts half = counts(50, 50);
+    DramOpCounts full = counts(100, 100);
+    const double dyn = pm.relativeDynamicPower(half, 1000, full, 1000);
+    const double tot = pm.relativeTotalPower(half, 1000, full, 1000);
+    EXPECT_DOUBLE_EQ(dyn, 0.5);
+    EXPECT_GT(tot, dyn) << "static floor pulls the ratio toward 1";
+    EXPECT_LT(tot, 1.0);
+    // Exact: (0.5 + s) / (1 + s) with s = 0.175/0.825.
+    const double s = 0.175 / 0.825;
+    EXPECT_NEAR(tot, (0.5 + s) / (1.0 + s), 1e-12);
+}
+
+TEST(PowerModelTest, ZeroBaselinesReturnZero)
+{
+    PowerModel pm;
+    DramOpCounts zero;
+    DramOpCounts some = counts(1, 1);
+    EXPECT_DOUBLE_EQ(pm.relativeDynamicPower(some, 1, zero, 1), 0.0);
+    EXPECT_DOUBLE_EQ(pm.relativeDynamicEnergy(some, 1, zero, 1), 0.0);
+    EXPECT_DOUBLE_EQ(pm.dynamicPower(some, 0), 0.0);
+}
+
+TEST(PowerModelTest, CustomWeights)
+{
+    PowerModel pm(6.0, 0.0);
+    EXPECT_DOUBLE_EQ(pm.dynamicEnergy(counts(10, 10)), 70.0);
+}
+
+} // namespace
+} // namespace fbdp

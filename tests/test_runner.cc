@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Experiment-runner tests: reference caching, the SMT-speedup metric,
+ * environment overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "system/runner.hh"
+
+namespace fbdp {
+namespace {
+
+SystemConfig
+quickRef()
+{
+    SystemConfig c = SystemConfig::ddr2();
+    c.warmupInsts = 10'000;
+    c.measureInsts = 50'000;
+    return c;
+}
+
+TEST(RunnerTest, RunMixFillsBenchmarks)
+{
+    RunResult r = runMix(quickRef(), mixByName("2C-3"));
+    ASSERT_EQ(r.ipc.size(), 2u);
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_GT(r.ipc[1], 0.0);
+}
+
+TEST(RunnerTest, ReferenceSetCachesRuns)
+{
+    ReferenceSet refs(quickRef());
+    const double a = refs.ipcOf("vpr");
+    const double b = refs.ipcOf("vpr");
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(RunnerTest, ReferencesDifferAcrossPrograms)
+{
+    ReferenceSet refs(quickRef());
+    // A streaming FP code and a low-ILP integer code should land at
+    // visibly different absolute IPC.
+    EXPECT_NE(refs.ipcOf("swim"), refs.ipcOf("parser"));
+}
+
+TEST(RunnerTest, SmtSpeedupOfReferenceMachineIsCoreCount)
+{
+    // Running each reference program on the reference machine gives
+    // per-core ratios of ~1.0, so the sum is ~nCores for single-core.
+    ReferenceSet refs(quickRef());
+    const WorkloadMix &mix = mixByName("1C-gap");
+    RunResult r = runMix(quickRef(), mix);
+    const double s = smtSpeedup(r, mix, refs);
+    EXPECT_NEAR(s, 1.0, 0.05);
+}
+
+TEST(RunnerTest, SmtSpeedupRejectsMismatchedMix)
+{
+    ReferenceSet refs(quickRef());
+    RunResult r = runMix(quickRef(), mixByName("1C-gap"));
+    EXPECT_DEATH(smtSpeedup(r, mixByName("2C-1"), refs),
+                 "mismatch");
+}
+
+TEST(RunnerTest, EnvOverridesApply)
+{
+    setenv("FBDP_MEASURE_INSTS", "123456", 1);
+    setenv("FBDP_WARMUP_INSTS", "7890", 1);
+    SystemConfig c;
+    applyInstsFromEnv(c);
+    EXPECT_EQ(c.measureInsts, 123456u);
+    EXPECT_EQ(c.warmupInsts, 7890u);
+    unsetenv("FBDP_MEASURE_INSTS");
+    unsetenv("FBDP_WARMUP_INSTS");
+}
+
+TEST(RunnerTest, EnvIgnoresGarbage)
+{
+    setenv("FBDP_MEASURE_INSTS", "not-a-number", 1);
+    SystemConfig c;
+    const std::uint64_t before = c.measureInsts;
+    applyInstsFromEnv(c);
+    EXPECT_EQ(c.measureInsts, before);
+    unsetenv("FBDP_MEASURE_INSTS");
+}
+
+TEST(RunnerTest, TotalInstsSumsCores)
+{
+    RunResult r;
+    r.insts = {100, 200, 300};
+    EXPECT_DOUBLE_EQ(r.totalInsts(), 600.0);
+    r.ipc = {1.0, 2.0, 0.5};
+    EXPECT_DOUBLE_EQ(r.ipcSum(), 3.5);
+}
+
+} // namespace
+} // namespace fbdp

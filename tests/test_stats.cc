@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Statistics-framework tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace fbdp {
+namespace {
+
+using namespace stats;
+
+TEST(StatsTest, ScalarAccumulates)
+{
+    Scalar s("s", "a counter");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, AverageMeans)
+{
+    Average a("a", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 60.0);
+}
+
+TEST(StatsTest, HistogramBuckets)
+{
+    Histogram h("h", "dist", 0.0, 100.0, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(-1);
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(StatsTest, HistogramEdgeValues)
+{
+    Histogram h("h", "dist", 0.0, 10.0, 10);
+    h.sample(0.0);   // first bucket
+    h.sample(10.0);  // == hi -> overflow by convention
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+}
+
+TEST(StatsTest, FormulaEvaluatesLazily)
+{
+    double x = 1.0;
+    Formula f("f", "derived", [&x] { return x * 2; });
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+    x = 21.0;
+    EXPECT_DOUBLE_EQ(f.value(), 42.0);
+}
+
+TEST(StatsTest, GroupResetAndPrint)
+{
+    StatGroup g("grp");
+    Scalar s("reads", "memory reads");
+    Average a("lat", "latency");
+    g.registerStat(&s);
+    g.registerStat(&a);
+    s += 7;
+    a.sample(3.0);
+    std::ostringstream os;
+    g.printAll(os);
+    EXPECT_NE(os.str().find("grp"), std::string::npos);
+    EXPECT_NE(os.str().find("reads"), std::string::npos);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(StatsTest, PrintFormats)
+{
+    Scalar s("n", "count");
+    s += 5;
+    std::ostringstream os;
+    s.print(os);
+    EXPECT_NE(os.str().find('5'), std::string::npos);
+    EXPECT_NE(os.str().find("count"), std::string::npos);
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests of the L2 hardware stream prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/stream_prefetcher.hh"
+
+namespace fbdp {
+namespace {
+
+Addr
+line(std::uint64_t i)
+{
+    return i * lineBytes;
+}
+
+StreamPrefetcherConfig
+cfg(unsigned train = 2, unsigned degree = 2, unsigned distance = 4)
+{
+    StreamPrefetcherConfig c;
+    c.enable = true;
+    c.trainThreshold = train;
+    c.degree = degree;
+    c.distance = distance;
+    return c;
+}
+
+TEST(StreamPrefetcherTest, FirstMissOnlyAllocates)
+{
+    StreamPrefetcher p(cfg(), 1);
+    EXPECT_TRUE(p.onDemandMiss(0, line(100)).empty());
+    EXPECT_EQ(p.streamsAllocated(), 1u);
+}
+
+TEST(StreamPrefetcherTest, TrainsOnSequentialMisses)
+{
+    StreamPrefetcher p(cfg(2, 2, 4), 1);
+    p.onDemandMiss(0, line(100));
+    auto out = p.onDemandMiss(0, line(101));
+    // Second sequential miss reaches the threshold.
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], line(105));
+    EXPECT_EQ(out[1], line(106));
+}
+
+TEST(StreamPrefetcherTest, KeepsEmittingAlongTheStream)
+{
+    StreamPrefetcher p(cfg(2, 1, 4), 1);
+    p.onDemandMiss(0, line(10));
+    for (std::uint64_t l = 11; l < 20; ++l) {
+        auto out = p.onDemandMiss(0, line(l));
+        ASSERT_EQ(out.size(), 1u) << "line " << l;
+        EXPECT_EQ(out[0], line(l + 4));
+    }
+}
+
+TEST(StreamPrefetcherTest, RandomMissesNeverTrain)
+{
+    StreamPrefetcher p(cfg(), 1);
+    std::uint64_t l = 1;
+    for (int i = 0; i < 100; ++i) {
+        auto out = p.onDemandMiss(0, line(l));
+        EXPECT_TRUE(out.empty());
+        l = l * 2862933555777941757ull + 3037000493ull;  // scramble
+        l &= 0xffffff;
+    }
+    EXPECT_EQ(p.prefetchesSuggested(), 0u);
+}
+
+TEST(StreamPrefetcherTest, CoresAreIsolated)
+{
+    StreamPrefetcher p(cfg(2, 1, 4), 2);
+    p.onDemandMiss(0, line(100));
+    // Core 1 touching the continuation must not train core 0's
+    // stream.
+    EXPECT_TRUE(p.onDemandMiss(1, line(101)).empty());
+    EXPECT_FALSE(p.onDemandMiss(0, line(101)).empty());
+}
+
+TEST(StreamPrefetcherTest, InterleavedStreamsBothTrack)
+{
+    StreamPrefetcher p(cfg(2, 1, 4), 1);
+    p.onDemandMiss(0, line(1000));
+    p.onDemandMiss(0, line(5000));
+    auto a = p.onDemandMiss(0, line(1001));
+    auto b = p.onDemandMiss(0, line(5001));
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0], line(1005));
+    EXPECT_EQ(b[0], line(5005));
+}
+
+TEST(StreamPrefetcherTest, TableLruEvictsStaleStreams)
+{
+    StreamPrefetcherConfig c = cfg(2, 1, 4);
+    c.entriesPerCore = 2;
+    StreamPrefetcher p(c, 1);
+    p.onDemandMiss(0, line(100));
+    p.onDemandMiss(0, line(200));
+    p.onDemandMiss(0, line(300));  // evicts the 100-stream
+    EXPECT_TRUE(p.onDemandMiss(0, line(101)).empty())
+        << "evicted stream must retrain";
+}
+
+TEST(StreamPrefetcherTest, ResetClears)
+{
+    StreamPrefetcher p(cfg(2, 1, 4), 1);
+    p.onDemandMiss(0, line(100));
+    p.onDemandMiss(0, line(101));
+    p.reset();
+    EXPECT_EQ(p.streamsAllocated(), 0u);
+    EXPECT_TRUE(p.onDemandMiss(0, line(102)).empty());
+}
+
+TEST(StreamPrefetcherTest, HigherDegreeEmitsMore)
+{
+    StreamPrefetcher p(cfg(2, 4, 8), 1);
+    p.onDemandMiss(0, line(100));
+    auto out = p.onDemandMiss(0, line(101));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], line(109));
+    EXPECT_EQ(out[3], line(112));
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Batch sweep driver tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/sweep.hh"
+
+namespace fbdp {
+namespace {
+
+SystemConfig
+quick(SystemConfig c)
+{
+    c.warmupInsts = 10'000;
+    c.measureInsts = 40'000;
+    return c;
+}
+
+TEST(SweepTest, RunsCrossProduct)
+{
+    Sweep s;
+    s.addConfig("ddr2", quick(SystemConfig::ddr2()))
+        .addConfig("fbd", quick(SystemConfig::fbdBase()))
+        .addMix(mixByName("1C-gap"))
+        .addMix(mixByName("1C-vpr"));
+    EXPECT_EQ(s.cells(), 4u);
+    auto rows = s.run();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].config, "ddr2");
+    EXPECT_EQ(rows[0].mix, "1C-gap");
+    EXPECT_EQ(rows[3].config, "fbd");
+    EXPECT_EQ(rows[3].mix, "1C-vpr");
+    for (const auto &r : rows)
+        EXPECT_GT(r.result.ipcSum(), 0.0);
+}
+
+TEST(SweepTest, RepeatsVarySeed)
+{
+    Sweep s;
+    s.addConfig("fbd", quick(SystemConfig::fbdBase()))
+        .addMix(mixByName("1C-gap"))
+        .repeats(2);
+    auto rows = s.run();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].seed, 1u);
+    EXPECT_EQ(rows[1].seed, 2u);
+    // Different seeds produce (slightly) different outcomes.
+    EXPECT_NE(rows[0].result.reads, rows[1].result.reads);
+}
+
+TEST(SweepTest, MixGroupAddsAllMixes)
+{
+    Sweep s;
+    s.addConfig("fbd", quick(SystemConfig::fbdBase()))
+        .addMixGroup(2);
+    EXPECT_EQ(s.cells(), 6u);
+}
+
+TEST(SweepTest, CsvOutputWellFormed)
+{
+    Sweep s;
+    s.addConfig("ap", quick(SystemConfig::fbdAp()))
+        .addMix(mixByName("1C-swim"));
+    std::ostringstream os;
+    s.runCsv(os);
+    std::istringstream in(os.str());
+    std::string header, row, extra;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_FALSE(std::getline(in, extra));
+    EXPECT_EQ(header, Sweep::csvHeader());
+    // Same number of commas in header and row.
+    auto commas = [](const std::string &x) {
+        return std::count(x.begin(), x.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_EQ(row.rfind("ap,1C-swim,1,", 0), 0u);
+}
+
+TEST(SweepTest, CallbackSeesEveryRow)
+{
+    Sweep s;
+    int n = 0;
+    s.addConfig("fbd", quick(SystemConfig::fbdBase()))
+        .addMix(mixByName("1C-gap"))
+        .addMix(mixByName("1C-vortex"))
+        .onRow([&n](const SweepRow &) { ++n; });
+    s.run();
+    EXPECT_EQ(n, 2);
+}
+
+TEST(SweepTest, EmptySweepIsFatal)
+{
+    Sweep s;
+    EXPECT_DEATH(s.run(), "no configurations");
+    s.addConfig("fbd", quick(SystemConfig::fbdBase()));
+    EXPECT_DEATH(s.run(), "no workloads");
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * End-to-end smoke tests of the assembled system: every configuration
+ * preset must simulate a small workload to completion with sane stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workload/mixes.hh"
+
+namespace fbdp {
+namespace {
+
+SystemConfig
+quick(SystemConfig c)
+{
+    c.warmupInsts = 20'000;
+    c.measureInsts = 100'000;
+    return c;
+}
+
+TEST(SystemTest, Ddr2SingleCoreRuns)
+{
+    auto r = runMix(quick(SystemConfig::ddr2()), mixByName("1C-swim"));
+    ASSERT_EQ(r.ipc.size(), 1u);
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_LT(r.ipc[0], 4.0);
+    EXPECT_GT(r.reads, 0u);
+    EXPECT_GT(r.bandwidthGBs, 0.0);
+    EXPECT_GT(r.avgReadLatencyNs, 30.0);
+    EXPECT_EQ(r.ambHits, 0u);
+}
+
+TEST(SystemTest, FbdSingleCoreRuns)
+{
+    auto r = runMix(quick(SystemConfig::fbdBase()),
+                    mixByName("1C-swim"));
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_GT(r.reads, 0u);
+    // FB-DIMM idle latency is 63 ns; queueing only adds to it.
+    EXPECT_GE(r.avgReadLatencyNs, 60.0);
+}
+
+TEST(SystemTest, FbdApSingleCoreRuns)
+{
+    auto r = runMix(quick(SystemConfig::fbdAp()),
+                    mixByName("1C-swim"));
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_GT(r.ambHits, 0u);
+    EXPECT_GT(r.coverage, 0.0);
+    EXPECT_LE(r.coverage, 0.75 + 1e-9);  // bound for K=4
+    EXPECT_GT(r.efficiency, 0.0);
+    EXPECT_LE(r.efficiency, 1.0);
+}
+
+TEST(SystemTest, FbdApBeatsFbdOnStreamingWorkload)
+{
+    auto base = runMix(quick(SystemConfig::fbdBase()),
+                       mixByName("1C-swim"));
+    auto ap = runMix(quick(SystemConfig::fbdAp()),
+                     mixByName("1C-swim"));
+    EXPECT_GT(ap.ipc[0], base.ipc[0]);
+}
+
+TEST(SystemTest, MultiCoreRuns)
+{
+    auto r = runMix(quick(SystemConfig::fbdAp()), mixByName("4C-1"));
+    ASSERT_EQ(r.ipc.size(), 4u);
+    for (double v : r.ipc)
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(SystemTest, DeterministicAcrossRuns)
+{
+    auto a = runMix(quick(SystemConfig::fbdAp()), mixByName("2C-1"));
+    auto b = runMix(quick(SystemConfig::fbdAp()), mixByName("2C-1"));
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.ipc[i], b.ipc[i]);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.ops.actPre, b.ops.actPre);
+    EXPECT_EQ(a.ops.cas(), b.ops.cas());
+}
+
+TEST(SystemTest, ReportContainsAllComponents)
+{
+    SystemConfig cfg = quick(SystemConfig::fbdAp());
+    cfg.benchmarks = {"swim", "vpr"};
+    System sys(cfg);
+    sys.run();
+    std::ostringstream os;
+    sys.report(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("cpu0.swim"), std::string::npos);
+    EXPECT_NE(s.find("cpu1.vpr"), std::string::npos);
+    EXPECT_NE(s.find("l2"), std::string::npos);
+    EXPECT_NE(s.find("mc0"), std::string::npos);
+    EXPECT_NE(s.find("mc1"), std::string::npos);
+    EXPECT_NE(s.find("coverage"), std::string::npos);
+    EXPECT_NE(s.find("act_pre"), std::string::npos);
+}
+
+TEST(SystemTest, ApReducesActivations)
+{
+    auto base = runMix(quick(SystemConfig::fbdBase()),
+                       mixByName("1C-swim"));
+    auto ap = runMix(quick(SystemConfig::fbdAp()),
+                     mixByName("1C-swim"));
+    // Activations per read must drop with region fetching.
+    const double act_per_read_base =
+        static_cast<double>(base.ops.actPre)
+        / static_cast<double>(base.reads);
+    const double act_per_read_ap =
+        static_cast<double>(ap.ops.actPre)
+        / static_cast<double>(ap.reads);
+    EXPECT_LT(act_per_read_ap, act_per_read_base);
+}
+
+/**
+ * Parameterized preset sweep: every (machine, data rate, channel
+ * count) combination must run to completion with self-consistent
+ * statistics.
+ */
+struct PresetParam
+{
+    const char *machine;
+    unsigned rate;
+    unsigned channels;
+};
+
+class PresetSweepTest : public ::testing::TestWithParam<PresetParam>
+{
+};
+
+TEST_P(PresetSweepTest, RunsWithConsistentStats)
+{
+    const PresetParam p = GetParam();
+    SystemConfig c = std::string(p.machine) == "ddr2"
+        ? SystemConfig::ddr2()
+        : (std::string(p.machine) == "fbd" ? SystemConfig::fbdBase()
+                                           : SystemConfig::fbdAp());
+    c = quick(c);
+    c.dataRate = p.rate;
+    c.logicChannels = p.channels;
+    auto r = runMix(c, mixByName("2C-4"));
+    ASSERT_EQ(r.ipc.size(), 2u);
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_GT(r.ipc[1], 0.0);
+    EXPECT_GT(r.reads, 0u);
+    // Bandwidth accounting must agree with transaction counts.
+    const double seconds = static_cast<double>(r.measuredTicks)
+        * 1e-12;
+    double expect_bytes = static_cast<double>(r.reads + r.writes)
+        * lineBytes;
+    if (c.mcPrefetch)
+        expect_bytes = 0;  // not used in this sweep
+    EXPECT_NEAR(r.bandwidthGBs, expect_bytes / 1e9 / seconds,
+                r.bandwidthGBs * 0.02);
+    // Close-page op accounting (every machine here uses close page).
+    EXPECT_GE(r.ops.cas(), r.reads + r.writes - 64);
+    if (std::string(p.machine) == "fbd-ap") {
+        EXPECT_GT(r.coverage, 0.0);
+        EXPECT_LE(r.coverage, 0.75 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PresetSweepTest,
+    ::testing::Values(
+        PresetParam{"ddr2", 533, 1}, PresetParam{"ddr2", 667, 2},
+        PresetParam{"ddr2", 800, 4}, PresetParam{"fbd", 533, 2},
+        PresetParam{"fbd", 667, 1}, PresetParam{"fbd", 800, 2},
+        PresetParam{"fbd-ap", 533, 1}, PresetParam{"fbd-ap", 667, 4},
+        PresetParam{"fbd-ap", 800, 2}),
+    [](const ::testing::TestParamInfo<PresetParam> &info) {
+        std::string n = info.param.machine;
+        for (auto &ch : n) {
+            if (ch == '-')
+                ch = '_';
+        }
+        return n + "_" + std::to_string(info.param.rate) + "_"
+            + std::to_string(info.param.channels) + "ch";
+    });
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Trace record/replay tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "workload/trace_file.hh"
+
+namespace fbdp {
+namespace {
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "fbdp_trace_test.txt";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceFileTest, FormatRoundTrip)
+{
+    TraceOp op;
+    op.gap = 17;
+    op.kind = TraceOp::Kind::Store;
+    op.addr = 0xdeadbeef40;
+    TraceOp back;
+    ASSERT_TRUE(parseTraceOp(formatTraceOp(op), &back));
+    EXPECT_EQ(back.gap, op.gap);
+    EXPECT_EQ(static_cast<int>(back.kind),
+              static_cast<int>(op.kind));
+    EXPECT_EQ(back.addr, op.addr);
+}
+
+TEST_F(TraceFileTest, CommentsAndBlankLinesSkipped)
+{
+    TraceOp op;
+    EXPECT_FALSE(parseTraceOp("# comment", &op));
+    EXPECT_FALSE(parseTraceOp("", &op));
+    EXPECT_TRUE(parseTraceOp("3 P 1000", &op));
+    EXPECT_EQ(op.addr, 0x1000u);
+    EXPECT_EQ(static_cast<int>(op.kind),
+              static_cast<int>(TraceOp::Kind::Prefetch));
+}
+
+TEST_F(TraceFileTest, MalformedLineIsFatal)
+{
+    TraceOp op;
+    EXPECT_DEATH(parseTraceOp("banana", &op), "malformed");
+    EXPECT_DEATH(parseTraceOp("1 X 40", &op), "unknown trace op");
+}
+
+TEST_F(TraceFileTest, RecordThenReplayIdentical)
+{
+    SyntheticGenerator gen(benchProfile("equake"), 0, 5, true);
+    {
+        TraceRecorder rec(&gen, path);
+        for (int i = 0; i < 2000; ++i)
+            rec.next();
+        EXPECT_EQ(rec.recorded(), 2000u);
+    }
+
+    SyntheticGenerator ref(benchProfile("equake"), 0, 5, true);
+    TraceFileGenerator replay(path);
+    EXPECT_EQ(replay.size(), 2000u);
+    for (int i = 0; i < 2000; ++i) {
+        TraceOp a = ref.next();
+        TraceOp b = replay.next();
+        ASSERT_EQ(a.addr, b.addr) << "op " << i;
+        ASSERT_EQ(a.gap, b.gap);
+        ASSERT_EQ(static_cast<int>(a.kind),
+                  static_cast<int>(b.kind));
+    }
+}
+
+TEST_F(TraceFileTest, ReplayWrapsAtEof)
+{
+    {
+        std::ofstream out(path);
+        out << "1 L 40\n2 S 80\n";
+    }
+    TraceFileGenerator replay(path);
+    EXPECT_EQ(replay.size(), 2u);
+    TraceOp first = replay.next();
+    replay.next();
+    TraceOp wrapped = replay.next();
+    EXPECT_EQ(wrapped.addr, first.addr);
+    EXPECT_EQ(replay.wraps(), 1u);
+}
+
+TEST_F(TraceFileTest, BaseAddressOffsetsReplay)
+{
+    {
+        std::ofstream out(path);
+        out << "0 L 40\n";
+    }
+    TraceFileGenerator replay(path, 1ull << 32);
+    EXPECT_EQ(replay.next().addr, (1ull << 32) + 0x40);
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_DEATH(TraceFileGenerator g("/nonexistent/trace.txt"),
+                 "cannot open");
+}
+
+TEST_F(TraceFileTest, EmptyTraceIsFatal)
+{
+    {
+        std::ofstream out(path);
+        out << "# only a comment\n";
+    }
+    EXPECT_DEATH(TraceFileGenerator g(path), "no operations");
+}
+
+} // namespace
+} // namespace fbdp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_vrl.dir/abl01_vrl.cc.o"
+  "CMakeFiles/abl01_vrl.dir/abl01_vrl.cc.o.d"
+  "abl01_vrl"
+  "abl01_vrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_vrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

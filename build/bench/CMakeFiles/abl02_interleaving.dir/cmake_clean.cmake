@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_interleaving.dir/abl02_interleaving.cc.o"
+  "CMakeFiles/abl02_interleaving.dir/abl02_interleaving.cc.o.d"
+  "abl02_interleaving"
+  "abl02_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_scheduler.dir/abl03_scheduler.cc.o"
+  "CMakeFiles/abl03_scheduler.dir/abl03_scheduler.cc.o.d"
+  "abl03_scheduler"
+  "abl03_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

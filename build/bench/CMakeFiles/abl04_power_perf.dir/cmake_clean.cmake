@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_power_perf.dir/abl04_power_perf.cc.o"
+  "CMakeFiles/abl04_power_perf.dir/abl04_power_perf.cc.o.d"
+  "abl04_power_perf"
+  "abl04_power_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_power_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_hw_prefetch.dir/abl05_hw_prefetch.cc.o"
+  "CMakeFiles/abl05_hw_prefetch.dir/abl05_hw_prefetch.cc.o.d"
+  "abl05_hw_prefetch"
+  "abl05_hw_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_hw_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

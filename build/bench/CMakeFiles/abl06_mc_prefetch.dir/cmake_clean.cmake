@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl06_mc_prefetch.dir/abl06_mc_prefetch.cc.o"
+  "CMakeFiles/abl06_mc_prefetch.dir/abl06_mc_prefetch.cc.o.d"
+  "abl06_mc_prefetch"
+  "abl06_mc_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_mc_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ddr2_vs_fbdimm.dir/fig04_ddr2_vs_fbdimm.cc.o"
+  "CMakeFiles/fig04_ddr2_vs_fbdimm.dir/fig04_ddr2_vs_fbdimm.cc.o.d"
+  "fig04_ddr2_vs_fbdimm"
+  "fig04_ddr2_vs_fbdimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ddr2_vs_fbdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_ddr2_vs_fbdimm.
+# This may be replaced when dependencies are built.

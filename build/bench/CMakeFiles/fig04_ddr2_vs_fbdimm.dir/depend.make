@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_ddr2_vs_fbdimm.
+# This may be replaced when dependencies are built.

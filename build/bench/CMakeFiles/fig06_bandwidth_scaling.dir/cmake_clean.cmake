@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_bandwidth_scaling.dir/fig06_bandwidth_scaling.cc.o"
+  "CMakeFiles/fig06_bandwidth_scaling.dir/fig06_bandwidth_scaling.cc.o.d"
+  "fig06_bandwidth_scaling"
+  "fig06_bandwidth_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bandwidth_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_amb_prefetch_speedup.dir/fig07_amb_prefetch_speedup.cc.o"
+  "CMakeFiles/fig07_amb_prefetch_speedup.dir/fig07_amb_prefetch_speedup.cc.o.d"
+  "fig07_amb_prefetch_speedup"
+  "fig07_amb_prefetch_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_amb_prefetch_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

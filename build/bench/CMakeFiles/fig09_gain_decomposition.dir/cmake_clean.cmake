@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gain_decomposition.dir/fig09_gain_decomposition.cc.o"
+  "CMakeFiles/fig09_gain_decomposition.dir/fig09_gain_decomposition.cc.o.d"
+  "fig09_gain_decomposition"
+  "fig09_gain_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gain_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_software_prefetch.dir/fig12_software_prefetch.cc.o"
+  "CMakeFiles/fig12_software_prefetch.dir/fig12_software_prefetch.cc.o.d"
+  "fig12_software_prefetch"
+  "fig12_software_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_software_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_power_saving.dir/fig13_power_saving.cc.o"
+  "CMakeFiles/fig13_power_saving.dir/fig13_power_saving.cc.o.d"
+  "fig13_power_saving"
+  "fig13_power_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_power_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_amb_inspect.dir/amb_inspect.cpp.o"
+  "CMakeFiles/example_amb_inspect.dir/amb_inspect.cpp.o.d"
+  "example_amb_inspect"
+  "example_amb_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_amb_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

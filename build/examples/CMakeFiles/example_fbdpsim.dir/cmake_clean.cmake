@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fbdpsim.dir/fbdpsim.cpp.o"
+  "CMakeFiles/example_fbdpsim.dir/fbdpsim.cpp.o.d"
+  "example_fbdpsim"
+  "example_fbdpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fbdpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

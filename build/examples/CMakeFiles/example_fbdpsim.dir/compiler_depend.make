@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_fbdpsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multicore_scaling.dir/multicore_scaling.cpp.o"
+  "CMakeFiles/example_multicore_scaling.dir/multicore_scaling.cpp.o.d"
+  "example_multicore_scaling"
+  "example_multicore_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multicore_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

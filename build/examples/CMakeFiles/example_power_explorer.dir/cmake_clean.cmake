@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_power_explorer.dir/power_explorer.cpp.o"
+  "CMakeFiles/example_power_explorer.dir/power_explorer.cpp.o.d"
+  "example_power_explorer"
+  "example_power_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/fbdp.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/fbdp.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/fbdp.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/stream_prefetcher.cc" "src/CMakeFiles/fbdp.dir/cache/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/cache/stream_prefetcher.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/fbdp.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/fbdp.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/fbdp.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/cpu/core.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/fbdp.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/dimm.cc" "src/CMakeFiles/fbdp.dir/dram/dimm.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/dram/dimm.cc.o.d"
+  "/root/repo/src/dram/dram_timing.cc" "src/CMakeFiles/fbdp.dir/dram/dram_timing.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/dram/dram_timing.cc.o.d"
+  "/root/repo/src/mc/address_map.cc" "src/CMakeFiles/fbdp.dir/mc/address_map.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/mc/address_map.cc.o.d"
+  "/root/repo/src/mc/controller.cc" "src/CMakeFiles/fbdp.dir/mc/controller.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/mc/controller.cc.o.d"
+  "/root/repo/src/mc/link.cc" "src/CMakeFiles/fbdp.dir/mc/link.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/mc/link.cc.o.d"
+  "/root/repo/src/mc/transaction.cc" "src/CMakeFiles/fbdp.dir/mc/transaction.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/mc/transaction.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/fbdp.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/power/power_model.cc.o.d"
+  "/root/repo/src/prefetch/amb_cache.cc" "src/CMakeFiles/fbdp.dir/prefetch/amb_cache.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/prefetch/amb_cache.cc.o.d"
+  "/root/repo/src/prefetch/prefetch_table.cc" "src/CMakeFiles/fbdp.dir/prefetch/prefetch_table.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/prefetch/prefetch_table.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/fbdp.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/system/config.cc" "src/CMakeFiles/fbdp.dir/system/config.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/system/config.cc.o.d"
+  "/root/repo/src/system/metrics.cc" "src/CMakeFiles/fbdp.dir/system/metrics.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/system/metrics.cc.o.d"
+  "/root/repo/src/system/runner.cc" "src/CMakeFiles/fbdp.dir/system/runner.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/system/runner.cc.o.d"
+  "/root/repo/src/system/sweep.cc" "src/CMakeFiles/fbdp.dir/system/sweep.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/system/sweep.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/fbdp.dir/system/system.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/system/system.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/fbdp.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/CMakeFiles/fbdp.dir/workload/mixes.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/workload/mixes.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/fbdp.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/fbdp.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/fbdp.dir/workload/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

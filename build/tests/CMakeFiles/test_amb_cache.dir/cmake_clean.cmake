@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amb_cache.dir/test_amb_cache.cc.o"
+  "CMakeFiles/test_amb_cache.dir/test_amb_cache.cc.o.d"
+  "test_amb_cache"
+  "test_amb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank.dir/test_bank.cc.o"
+  "CMakeFiles/test_bank.dir/test_bank.cc.o.d"
+  "test_bank"
+  "test_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

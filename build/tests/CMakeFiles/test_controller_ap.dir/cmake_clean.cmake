@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_ap.dir/test_controller_ap.cc.o"
+  "CMakeFiles/test_controller_ap.dir/test_controller_ap.cc.o.d"
+  "test_controller_ap"
+  "test_controller_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

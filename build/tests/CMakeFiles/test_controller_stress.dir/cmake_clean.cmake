@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_stress.dir/test_controller_stress.cc.o"
+  "CMakeFiles/test_controller_stress.dir/test_controller_stress.cc.o.d"
+  "test_controller_stress"
+  "test_controller_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimm.dir/test_dimm.cc.o"
+  "CMakeFiles/test_dimm.dir/test_dimm.cc.o.d"
+  "test_dimm"
+  "test_dimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_prefetch.dir/test_mc_prefetch.cc.o"
+  "CMakeFiles/test_mc_prefetch.dir/test_mc_prefetch.cc.o.d"
+  "test_mc_prefetch"
+  "test_mc_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixes.dir/test_mixes.cc.o"
+  "CMakeFiles/test_mixes.dir/test_mixes.cc.o.d"
+  "test_mixes"
+  "test_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

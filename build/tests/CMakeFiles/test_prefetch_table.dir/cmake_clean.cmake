@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch_table.dir/test_prefetch_table.cc.o"
+  "CMakeFiles/test_prefetch_table.dir/test_prefetch_table.cc.o.d"
+  "test_prefetch_table"
+  "test_prefetch_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

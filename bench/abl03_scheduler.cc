@@ -5,13 +5,19 @@
  * schedules reads before writes "unless the number of outstanding
  * write requests is above a certain threshold") and reports FB-DIMM
  * throughput and latency per group.
+ *
+ * Built on the Sweep batch engine: the four thresholds become four
+ * named configurations crossed with the core-count's mix group, so
+ * the whole grid runs on the worker pool (FBDP_JOBS).
  */
 
 #include <cstring>
 #include <iostream>
+#include <map>
 
 #include "system/metrics.hh"
 #include "system/runner.hh"
+#include "system/sweep.hh"
 #include "workload/mixes.hh"
 
 int
@@ -34,23 +40,35 @@ main(int argc, char **argv)
 
     std::cout << "== Ablation A3: write-drain threshold sweep ==\n\n";
 
+    const std::vector<unsigned> highs{8, 16, 32, 48};
+
     TextTable t({"cores", "drain@8", "drain@16", "drain@32",
                  "drain@48"});
     for (unsigned cores : {1u, 2u, 4u, 8u}) {
-        std::vector<std::string> row{std::to_string(cores)};
-        for (unsigned high : {8u, 16u, 32u, 48u}) {
-            double s = 0.0;
-            unsigned n = 0;
-            for (const auto &mix : mixesFor(cores)) {
-                SystemConfig c = prep(SystemConfig::fbdBase());
-                c.writeDrainHigh = high;
-                c.writeDrainLow = high / 4;
-                s += runMix(c, mix).ipcSum();
-                ++n;
-            }
-            row.push_back(fmtD(s / n));
+        Sweep s;
+        for (unsigned high : highs) {
+            SystemConfig c = prep(SystemConfig::fbdBase());
+            c.writeDrainHigh = high;
+            c.writeDrainLow = high / 4;
+            s.addConfig("drain@" + std::to_string(high), c);
         }
-        t.addRow(row);
+        s.addMixGroup(cores);
+
+        // Config-major row order: accumulate sum/count per config.
+        std::map<std::string, std::pair<double, unsigned>> acc;
+        for (const auto &row : s.run()) {
+            auto &[sum, n] = acc[row.config];
+            sum += row.result.ipcSum();
+            ++n;
+        }
+
+        std::vector<std::string> line{std::to_string(cores)};
+        for (unsigned high : highs) {
+            const auto &[sum, n] =
+                acc.at("drain@" + std::to_string(high));
+            line.push_back(fmtD(sum / n));
+        }
+        t.addRow(line);
     }
     t.print(std::cout);
     return 0;

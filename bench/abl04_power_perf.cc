@@ -7,6 +7,9 @@
  * choice").  Sweeps the design space and prints speedup vs relative
  * DRAM energy so the Pareto frontier is visible; flags the paper's
  * recommended point.
+ *
+ * The 36-variant x mix-group grid runs as batches of RunCells on the
+ * worker pool (FBDP_JOBS), with results in input order.
  */
 
 #include <cstring>
@@ -40,45 +43,63 @@ main(int argc, char **argv)
     std::cout << "== Ablation A4: power/performance balance "
                  "(paper Section 5.5 future work) ==\n\n";
 
+    struct Variant
+    {
+        unsigned k, entries, ways;
+    };
+    std::vector<Variant> variants;
+    for (unsigned k : {2u, 4u, 8u})
+        for (unsigned entries : {32u, 64u, 128u})
+            for (unsigned ways : {1u, 2u, 4u, 0u})
+                variants.push_back({k, entries, ways});
+
     for (unsigned cores : {1u, 4u}) {
-        // Baselines per group.
+        const auto &group = mixesFor(cores);
+        const unsigned nMixes = static_cast<unsigned>(group.size());
+
+        // Baselines per group, one cell per mix.
+        std::vector<RunCell> baseCells;
+        for (const auto &mix : group)
+            baseCells.push_back(
+                {prep(SystemConfig::fbdBase()), &mix});
+        const std::vector<RunResult> bases = runCells(baseCells);
         double base_perf = 0.0;
-        std::vector<RunResult> bases;
-        for (const auto &mix : mixesFor(cores)) {
-            bases.push_back(runMix(prep(SystemConfig::fbdBase()),
-                                   mix));
-            base_perf += bases.back().ipcSum();
+        for (const RunResult &r : bases)
+            base_perf += r.ipcSum();
+
+        // The full variant x mix grid as one batch.
+        std::vector<RunCell> cells;
+        for (const Variant &v : variants) {
+            for (const auto &mix : group) {
+                SystemConfig c = prep(SystemConfig::fbdAp());
+                c.regionLines = v.k;
+                c.ambEntries = v.entries;
+                c.ambWays = v.ways;
+                cells.push_back({std::move(c), &mix});
+            }
         }
+        const std::vector<RunResult> results = runCells(cells);
 
         TextTable t({"K", "entries", "ways", "speedup",
                      "rel. energy", "note"});
-        for (unsigned k : {2u, 4u, 8u}) {
-            for (unsigned entries : {32u, 64u, 128u}) {
-                for (unsigned ways : {1u, 2u, 4u, 0u}) {
-                    double perf = 0.0, energy = 0.0;
-                    unsigned i = 0;
-                    for (const auto &mix : mixesFor(cores)) {
-                        SystemConfig c = prep(SystemConfig::fbdAp());
-                        c.regionLines = k;
-                        c.ambEntries = entries;
-                        c.ambWays = ways;
-                        RunResult r = runMix(c, mix);
-                        perf += r.ipcSum();
-                        energy += pm.relativeDynamicEnergy(
-                            r.ops, r.totalInsts(), bases[i].ops,
-                            bases[i].totalInsts());
-                        ++i;
-                    }
-                    const bool recommended =
-                        k == 4 && entries == 64 && ways == 4;
-                    t.addRow({std::to_string(k),
-                              std::to_string(entries),
-                              ways ? std::to_string(ways) : "full",
-                              fmtPct(perf / base_perf - 1.0),
-                              fmtD(energy / i),
-                              recommended ? "<- paper pick" : ""});
-                }
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+            const Variant &v = variants[vi];
+            double perf = 0.0, energy = 0.0;
+            for (unsigned i = 0; i < nMixes; ++i) {
+                const RunResult &r = results[vi * nMixes + i];
+                perf += r.ipcSum();
+                energy += pm.relativeDynamicEnergy(
+                    r.ops, r.totalInsts(), bases[i].ops,
+                    bases[i].totalInsts());
             }
+            const bool recommended =
+                v.k == 4 && v.entries == 64 && v.ways == 4;
+            t.addRow({std::to_string(v.k),
+                      std::to_string(v.entries),
+                      v.ways ? std::to_string(v.ways) : "full",
+                      fmtPct(perf / base_perf - 1.0),
+                      fmtD(energy / nMixes),
+                      recommended ? "<- paper pick" : ""});
         }
         std::cout << cores << "-core average\n";
         t.print(std::cout);

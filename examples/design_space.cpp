@@ -1,13 +1,17 @@
 /**
  * @file
- * Design-space sweep to CSV: the three machines x a workload group,
- * streamed as CSV for external plotting.  Demonstrates the Sweep
- * batch driver.
+ * Design-space sweep to CSV or JSON: the three machines x a workload
+ * group, streamed for external plotting.  Demonstrates the Sweep
+ * batch driver, its worker pool and the typed results schema.
  *
- *   ./example_design_space [cores] [insts] > results.csv
+ *   ./example_design_space [cores] [insts] [--json] > results.csv
+ *
+ * Parallelism comes from FBDP_JOBS (e.g. FBDP_JOBS=8); row order and
+ * bytes are identical whatever the job count.
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "system/runner.hh"
@@ -18,11 +22,20 @@ main(int argc, char **argv)
 {
     using namespace fbdp;
 
-    const unsigned cores = argc > 1
-        ? static_cast<unsigned>(std::atoi(argv[1]))
+    bool json = false;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else
+            pos.push_back(argv[i]);
+    }
+
+    const unsigned cores = pos.size() > 0
+        ? static_cast<unsigned>(std::atoi(pos[0]))
         : 2;
-    const std::uint64_t insts = argc > 2
-        ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+    const std::uint64_t insts = pos.size() > 1
+        ? static_cast<std::uint64_t>(std::atoll(pos[1]))
         : 200'000;
 
     auto prep = [&](SystemConfig c) {
@@ -45,6 +58,9 @@ main(int argc, char **argv)
     }
 
     sweep.addMixGroup(cores);
-    sweep.runCsv(std::cout);
+    if (json)
+        sweep.runJson(std::cout);
+    else
+        sweep.runCsv(std::cout);
     return 0;
 }

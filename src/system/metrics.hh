@@ -41,6 +41,9 @@ std::string fmtPct(double ratio, int prec = 1);
 /** Geometric-ish helpers over vectors. */
 double meanOf(const std::vector<double> &v);
 
+/** Escape a string for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
 } // namespace fbdp
 
 #endif // FBDP_SYSTEM_METRICS_HH

@@ -1,0 +1,253 @@
+#include "system/results.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "system/metrics.hh"
+
+namespace fbdp {
+
+ColumnValue
+ColumnValue::ofText(std::string v)
+{
+    ColumnValue c;
+    c.kind = ColumnKind::Text;
+    c.text = std::move(v);
+    return c;
+}
+
+ColumnValue
+ColumnValue::ofCount(std::uint64_t v)
+{
+    ColumnValue c;
+    c.kind = ColumnKind::Count;
+    c.count = v;
+    return c;
+}
+
+ColumnValue
+ColumnValue::ofReal(double v)
+{
+    ColumnValue c;
+    c.kind = ColumnKind::Real;
+    c.real = v;
+    return c;
+}
+
+std::string
+ColumnValue::csv() const
+{
+    switch (kind) {
+      case ColumnKind::Text:
+        return text;
+      case ColumnKind::Count:
+        return std::to_string(count);
+      case ColumnKind::Real: {
+        // Default ostream formatting, so rows match what the legacy
+        // csvRow() printed through operator<<.
+        std::ostringstream os;
+        os << real;
+        return os.str();
+      }
+    }
+    panic("unhandled column kind");
+}
+
+std::string
+ColumnValue::json() const
+{
+    switch (kind) {
+      case ColumnKind::Text:
+        return '"' + jsonEscape(text) + '"';
+      case ColumnKind::Count:
+        return std::to_string(count);
+      case ColumnKind::Real: {
+        if (!std::isfinite(real))
+            return "null"; // NaN/Inf are not valid JSON numbers
+        std::ostringstream os;
+        os << real;
+        return os.str();
+      }
+    }
+    panic("unhandled column kind");
+}
+
+ResultSchema &
+ResultSchema::add(Column c)
+{
+    fbdp_assert(!c.name.empty() && c.get,
+                "result column needs a name and an accessor");
+    cols.push_back(std::move(c));
+    return *this;
+}
+
+const ResultSchema &
+ResultSchema::sweepRows()
+{
+    // Thread-safe one-time init (C++11 magic static); const after.
+    static const ResultSchema schema = [] {
+        ResultSchema s;
+        auto text = [](std::string name, std::string desc,
+                       std::function<std::string(const SweepRow &)> f) {
+            return Column{std::move(name), "", std::move(desc),
+                          ColumnKind::Text,
+                          [f = std::move(f)](const SweepRow &r) {
+                              return ColumnValue::ofText(f(r));
+                          }};
+        };
+        auto count =
+            [](std::string name, std::string unit, std::string desc,
+               std::function<std::uint64_t(const SweepRow &)> f) {
+                return Column{std::move(name), std::move(unit),
+                              std::move(desc), ColumnKind::Count,
+                              [f = std::move(f)](const SweepRow &r) {
+                                  return ColumnValue::ofCount(f(r));
+                              }};
+            };
+        auto real = [](std::string name, std::string unit,
+                       std::string desc,
+                       std::function<double(const SweepRow &)> f) {
+            return Column{std::move(name), std::move(unit),
+                          std::move(desc), ColumnKind::Real,
+                          [f = std::move(f)](const SweepRow &r) {
+                              return ColumnValue::ofReal(f(r));
+                          }};
+        };
+
+        s.add(text("config", "machine configuration name",
+                   [](const SweepRow &r) { return r.config; }));
+        s.add(text("mix", "workload mix name",
+                   [](const SweepRow &r) { return r.mix; }));
+        s.add(count("seed", "", "RNG seed of this repeat",
+                    [](const SweepRow &r) { return r.seed; }));
+        s.add(real("ipc_sum", "insts/cycle",
+                   "sum of per-core IPCs (throughput)",
+                   [](const SweepRow &r) {
+                       return r.result.ipcSum();
+                   }));
+        s.add(real("bandwidth_gbs", "GB/s",
+                   "utilized channel bandwidth",
+                   [](const SweepRow &r) {
+                       return r.result.bandwidthGBs;
+                   }));
+        s.add(real("avg_read_latency_ns", "ns",
+                   "mean read latency, MC arrival to data at MC",
+                   [](const SweepRow &r) {
+                       return r.result.avgReadLatencyNs;
+                   }));
+        s.add(count("reads", "ops", "memory reads served",
+                    [](const SweepRow &r) { return r.result.reads; }));
+        s.add(count("writes", "ops", "memory writes served",
+                    [](const SweepRow &r) { return r.result.writes; }));
+        s.add(count("amb_hits", "ops", "reads served by the AMB cache",
+                    [](const SweepRow &r) {
+                        return r.result.ambHits;
+                    }));
+        s.add(real("coverage", "ratio", "prefetch hits / reads",
+                   [](const SweepRow &r) {
+                       return r.result.coverage;
+                   }));
+        s.add(real("efficiency", "ratio",
+                   "prefetch hits / prefetches issued",
+                   [](const SweepRow &r) {
+                       return r.result.efficiency;
+                   }));
+        s.add(count("act_pre", "ops", "DRAM activate/precharge pairs",
+                    [](const SweepRow &r) {
+                        return r.result.ops.actPre;
+                    }));
+        s.add(count("cas", "ops", "DRAM column accesses (rd+wr)",
+                    [](const SweepRow &r) {
+                        return r.result.ops.cas();
+                    }));
+        s.add(count("refresh", "ops", "DRAM auto-refresh commands",
+                    [](const SweepRow &r) {
+                        return r.result.ops.refresh;
+                    }));
+        s.add(real("insts", "insts",
+                   "instructions executed in the window, all cores",
+                   [](const SweepRow &r) {
+                       return r.result.totalInsts();
+                   }));
+        s.add(real("sim_us", "us", "simulated measurement window",
+                   [](const SweepRow &r) {
+                       return static_cast<double>(
+                                  r.result.measuredTicks)
+                           * 1e-6;
+                   }));
+        return s;
+    }();
+    return schema;
+}
+
+std::string
+ResultSchema::csvHeader() const
+{
+    std::string out;
+    for (size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            out += ',';
+        out += cols[i].name;
+    }
+    return out;
+}
+
+std::string
+ResultSchema::csvRow(const SweepRow &row) const
+{
+    std::string out;
+    for (size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            out += ',';
+        out += cols[i].get(row).csv();
+    }
+    return out;
+}
+
+std::string
+ResultSchema::jsonRow(const SweepRow &row) const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += '"' + jsonEscape(cols[i].name) + "\": "
+            + cols[i].get(row).json();
+    }
+    out += '}';
+    return out;
+}
+
+void
+ResultSchema::writeCsv(const std::vector<SweepRow> &rows,
+                       std::ostream &os) const
+{
+    os << csvHeader() << '\n';
+    for (const auto &r : rows)
+        os << csvRow(r) << '\n';
+}
+
+void
+ResultSchema::writeJson(const std::vector<SweepRow> &rows,
+                        std::ostream &os) const
+{
+    static const char *kindNames[] = {"text", "count", "real"};
+    os << "{\n  \"columns\": [\n";
+    for (size_t i = 0; i < cols.size(); ++i) {
+        os << "    {\"name\": \"" << jsonEscape(cols[i].name)
+           << "\", \"unit\": \"" << jsonEscape(cols[i].unit)
+           << "\", \"kind\": \""
+           << kindNames[static_cast<int>(cols[i].kind)]
+           << "\", \"desc\": \"" << jsonEscape(cols[i].desc) << "\"}"
+           << (i + 1 < cols.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        os << "    " << jsonRow(rows[i])
+           << (i + 1 < rows.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace fbdp

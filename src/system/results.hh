@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Typed results API for batch experiments.
+ *
+ * A sweep produces SweepRows; what the plotting / analysis pipelines
+ * consume is a flat table of named, unit-annotated columns.  Instead
+ * of hand-maintained header and row strings (the old
+ * Sweep::csvHeader()/csvRow() pair), the table shape is declared once
+ * as a ResultSchema — a list of Columns, each with a name, a unit, a
+ * kind and a typed accessor — and both the CSV and the JSON emitters
+ * are derived from that single definition, so the two can never drift
+ * apart.
+ *
+ * Compatibility guarantee: ResultSchema::sweepRows() reproduces the
+ * legacy CSV byte for byte (same column names, order, and number
+ * formatting); Sweep::csvHeader()/csvRow() are thin wrappers over it.
+ */
+
+#ifndef FBDP_SYSTEM_RESULTS_HH
+#define FBDP_SYSTEM_RESULTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace fbdp {
+
+/** One row of sweep output. */
+struct SweepRow
+{
+    std::string config;
+    std::string mix;
+    std::uint64_t seed = 0;
+    RunResult result;
+};
+
+/** Value kind of one results column. */
+enum class ColumnKind
+{
+    Text,  ///< identifiers (config and mix names)
+    Count, ///< non-negative integer counters
+    Real,  ///< measured quantities
+};
+
+/** One cell, already pulled out of a row by a Column accessor. */
+struct ColumnValue
+{
+    ColumnKind kind = ColumnKind::Real;
+    std::string text;
+    std::uint64_t count = 0;
+    double real = 0.0;
+
+    static ColumnValue ofText(std::string v);
+    static ColumnValue ofCount(std::uint64_t v);
+    static ColumnValue ofReal(double v);
+
+    /** Render for CSV (matches legacy operator<< formatting). */
+    std::string csv() const;
+
+    /** Render as a JSON value (quoted/escaped text, null for NaN). */
+    std::string json() const;
+};
+
+/** One named, unit-annotated column of the results table. */
+struct Column
+{
+    std::string name; ///< CSV header cell / JSON object key
+    std::string unit; ///< "" when dimensionless
+    std::string desc; ///< one-line meaning
+    ColumnKind kind = ColumnKind::Real;
+    std::function<ColumnValue(const SweepRow &)> get;
+};
+
+/**
+ * An ordered set of Columns; the single source of truth for every
+ * serialisation of sweep results.
+ */
+class ResultSchema
+{
+  public:
+    ResultSchema &add(Column c);
+
+    const std::vector<Column> &columns() const { return cols; }
+
+    /** The canonical SweepRow schema (the legacy CSV layout). */
+    static const ResultSchema &sweepRows();
+
+    /** Comma-joined column names. */
+    std::string csvHeader() const;
+
+    /** One CSV line (no trailing newline). */
+    std::string csvRow(const SweepRow &row) const;
+
+    /** One JSON object ({"config":"fbd",...}, no trailing newline). */
+    std::string jsonRow(const SweepRow &row) const;
+
+    /** Header + one line per row. */
+    void writeCsv(const std::vector<SweepRow> &rows,
+                  std::ostream &os) const;
+
+    /**
+     * Whole result set as one JSON document:
+     *   { "columns": [ {"name","unit","kind"}, ... ],
+     *     "rows":    [ {<name>: <value>, ...}, ... ] }
+     */
+    void writeJson(const std::vector<SweepRow> &rows,
+                   std::ostream &os) const;
+
+  private:
+    std::vector<Column> cols;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_SYSTEM_RESULTS_HH

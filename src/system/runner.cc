@@ -1,8 +1,10 @@
 #include "system/runner.hh"
 
 #include <cstdlib>
+#include <future>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace fbdp {
 
@@ -15,6 +17,56 @@ runMix(const SystemConfig &base, const WorkloadMix &mix)
     return sys.run();
 }
 
+unsigned
+jobsFromEnv()
+{
+    if (const char *e = std::getenv("FBDP_JOBS")) {
+        const long long v = std::atoll(e);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+std::vector<RunResult>
+runCells(const std::vector<RunCell> &cells, unsigned jobs)
+{
+    std::vector<SystemConfig> cfgs;
+    cfgs.reserve(cells.size());
+    for (const RunCell &cell : cells) {
+        cfgs.push_back(cell.cfg);
+        if (cell.mix)
+            cfgs.back().benchmarks = cell.mix->benches;
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(cfgs.size());
+
+    unsigned n = jobs ? jobs : jobsFromEnv();
+    if (n > cfgs.size())
+        n = static_cast<unsigned>(cfgs.size());
+    if (n <= 1) {
+        for (const SystemConfig &cfg : cfgs) {
+            System sys(cfg);
+            results.push_back(sys.run());
+        }
+        return results;
+    }
+
+    ThreadPool pool(n);
+    std::vector<std::future<RunResult>> pending;
+    pending.reserve(cfgs.size());
+    for (const SystemConfig &cfg : cfgs) {
+        pending.push_back(pool.submit([&cfg] {
+            System sys(cfg);
+            return sys.run();
+        }));
+    }
+    for (auto &f : pending)
+        results.push_back(f.get());
+    return results;
+}
+
 ReferenceSet::ReferenceSet(SystemConfig ref_base)
     : base(std::move(ref_base))
 {
@@ -23,6 +75,7 @@ ReferenceSet::ReferenceSet(SystemConfig ref_base)
 double
 ReferenceSet::ipcOf(const std::string &bench)
 {
+    std::lock_guard<std::mutex> lk(mtx);
     auto it = cache.find(bench);
     if (it != cache.end())
         return it->second;

@@ -1,15 +1,18 @@
 /**
  * @file
  * Experiment helpers shared by the benches, examples and tests:
- * running a workload mix on a configuration, caching the single-core
- * DDR2 reference IPCs, and computing the paper's SMT-speedup metric.
+ * running a workload mix on a configuration (serially or as a batch
+ * on a worker pool), caching the single-core DDR2 reference IPCs, and
+ * computing the paper's SMT-speedup metric.
  */
 
 #ifndef FBDP_SYSTEM_RUNNER_HH
 #define FBDP_SYSTEM_RUNNER_HH
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "system/config.hh"
 #include "system/system.hh"
@@ -20,10 +23,33 @@ namespace fbdp {
 /** Run @p mix on @p base (benchmarks/core count filled from the mix). */
 RunResult runMix(const SystemConfig &base, const WorkloadMix &mix);
 
+/** One unit of batch work: a machine, optionally paired with a mix
+ *  whose benchmarks overwrite the configuration's. */
+struct RunCell
+{
+    SystemConfig cfg;
+    const WorkloadMix *mix = nullptr;
+};
+
+/**
+ * Run every cell, each as an isolated System on a worker pool, and
+ * return the results in input order (deterministic regardless of
+ * completion order).  @p jobs 0 resolves via FBDP_JOBS, else serial.
+ */
+std::vector<RunResult> runCells(const std::vector<RunCell> &cells,
+                                unsigned jobs = 0);
+
+/** Worker count requested by the FBDP_JOBS environment variable
+ *  (>= 1; 1 when unset or garbage). */
+unsigned jobsFromEnv();
+
 /**
  * Per-program reference IPCs: each program alone on a single-core
  * machine with two-channel DDR2 (the paper's reference points).
- * Results are computed lazily and cached for the process lifetime.
+ * Results are computed lazily and cached for the object lifetime.
+ * Thread-safe: concurrent ipcOf() calls serialise on an internal
+ * mutex (a miss simulates while holding it, so warming the cache is
+ * sequential; hits are cheap lookups).
  */
 class ReferenceSet
 {
@@ -36,6 +62,7 @@ class ReferenceSet
 
   private:
     SystemConfig base;
+    std::mutex mtx;
     std::map<std::string, double> cache;
 };
 

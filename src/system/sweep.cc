@@ -1,8 +1,11 @@
 #include "system/sweep.hh"
 
-#include <sstream>
+#include <algorithm>
+#include <future>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "system/runner.hh"
 
 namespace fbdp {
 
@@ -37,10 +40,28 @@ Sweep::repeats(unsigned n)
 }
 
 Sweep &
+Sweep::jobs(unsigned n)
+{
+    nJobs = n;
+    return *this;
+}
+
+Sweep &
 Sweep::onRow(std::function<void(const SweepRow &)> cb)
 {
     rowCb = std::move(cb);
     return *this;
+}
+
+unsigned
+Sweep::effectiveJobs() const
+{
+    unsigned n = nJobs ? nJobs : jobsFromEnv();
+    const size_t total = cells();
+    if (total > 0)
+        n = static_cast<unsigned>(
+            std::min<size_t>(n, total));
+    return n ? n : 1;
 }
 
 std::vector<SweepRow>
@@ -49,50 +70,87 @@ Sweep::run()
     fbdp_assert(!configs.empty(), "sweep has no configurations");
     fbdp_assert(!mixes.empty(), "sweep has no workloads");
 
-    std::vector<SweepRow> rows;
-    rows.reserve(cells());
+    // Materialise every cell up front, in config-major order; this
+    // order — not completion order — defines the row order.
+    struct Cell
+    {
+        std::string config;
+        std::string mix;
+        std::uint64_t seed;
+        SystemConfig cfg;
+    };
+    std::vector<Cell> cellDefs;
+    cellDefs.reserve(cells());
     for (const auto &[name, cfg] : configs) {
         for (const WorkloadMix *mix : mixes) {
-            for (unsigned r = 1; r <= nRepeats; ++r) {
+            for (unsigned r = 0; r < nRepeats; ++r) {
                 SystemConfig c = cfg;
-                c.seed = r;
+                // The configuration's seed is the base of the repeat
+                // range, so sweeps can use disjoint seed ranges.
+                c.seed = cfg.seed + r;
                 c.benchmarks = mix->benches;
-                System sys(c);
-                SweepRow row;
-                row.config = name;
-                row.mix = mix->name;
-                row.seed = r;
-                row.result = sys.run();
-                if (rowCb)
-                    rowCb(row);
-                rows.push_back(std::move(row));
+                cellDefs.push_back(
+                    {name, mix->name, c.seed, std::move(c)});
             }
         }
     }
+
+    std::vector<SweepRow> rows;
+    rows.reserve(cellDefs.size());
+
+    auto finish = [&](Cell &cell, RunResult result) {
+        SweepRow row;
+        row.config = std::move(cell.config);
+        row.mix = std::move(cell.mix);
+        row.seed = cell.seed;
+        row.result = std::move(result);
+        if (rowCb)
+            rowCb(row);
+        rows.push_back(std::move(row));
+    };
+
+    const unsigned n = effectiveJobs();
+    if (n <= 1) {
+        for (auto &cell : cellDefs) {
+            System sys(cell.cfg);
+            finish(cell, sys.run());
+        }
+        return rows;
+    }
+
+    // Each cell is an isolated System constructed and run on a worker
+    // thread; collecting the futures in submission order keeps rows,
+    // callbacks and any exception deterministic.
+    ThreadPool pool(n);
+    std::vector<std::future<RunResult>> pending;
+    pending.reserve(cellDefs.size());
+    for (const auto &cell : cellDefs) {
+        pending.push_back(pool.submit([&cfg = cell.cfg] {
+            System sys(cfg);
+            return sys.run();
+        }));
+    }
+    for (size_t i = 0; i < cellDefs.size(); ++i)
+        finish(cellDefs[i], pending[i].get());
     return rows;
+}
+
+const ResultSchema &
+Sweep::schema()
+{
+    return ResultSchema::sweepRows();
 }
 
 std::string
 Sweep::csvHeader()
 {
-    return "config,mix,seed,ipc_sum,bandwidth_gbs,"
-           "avg_read_latency_ns,reads,writes,amb_hits,coverage,"
-           "efficiency,act_pre,cas,refresh,insts,sim_us";
+    return schema().csvHeader();
 }
 
 std::string
 Sweep::csvRow(const SweepRow &row)
 {
-    const RunResult &r = row.result;
-    std::ostringstream os;
-    os << row.config << ',' << row.mix << ',' << row.seed << ','
-       << r.ipcSum() << ',' << r.bandwidthGBs << ','
-       << r.avgReadLatencyNs << ',' << r.reads << ',' << r.writes
-       << ',' << r.ambHits << ',' << r.coverage << ','
-       << r.efficiency << ',' << r.ops.actPre << ',' << r.ops.cas()
-       << ',' << r.ops.refresh << ',' << r.totalInsts() << ','
-       << static_cast<double>(r.measuredTicks) * 1e-6;
-    return os.str();
+    return schema().csvRow(row);
 }
 
 void
@@ -103,6 +161,12 @@ Sweep::runCsv(std::ostream &os)
         os << csvRow(row) << '\n';
     });
     run();
+}
+
+void
+Sweep::runJson(std::ostream &os)
+{
+    schema().writeJson(run(), os);
 }
 
 } // namespace fbdp

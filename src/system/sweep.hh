@@ -3,10 +3,20 @@
  * Batch experiment driver.
  *
  * Research use of a simulator is mostly grids: a set of machine
- * configurations crossed with a set of workloads, dumped as CSV for a
- * plotting pipeline.  Sweep collects named configurations and mixes,
- * runs the cross product (optionally with repeats over seeds), and
- * streams one CSV row per run.
+ * configurations crossed with a set of workloads, dumped as CSV or
+ * JSON for a plotting pipeline.  Sweep collects named configurations
+ * and mixes, runs the cross product (optionally with repeats over
+ * seeds) on a worker pool, and delivers one row per run in
+ * deterministic config-major order regardless of how many jobs ran
+ * concurrently or which finished first.
+ *
+ * Parallelism: every cell is an independent System built and run on a
+ * worker thread (System instances share no mutable state).  Rows are
+ * collected — and the onRow() callback invoked — on the calling
+ * thread, in cell-definition order, so callbacks need no locking and
+ * streamed output is byte-identical for any job count.  The job count
+ * comes from jobs(), or the FBDP_JOBS environment variable when
+ * jobs() was given 0 (the default), falling back to a serial run.
  */
 
 #ifndef FBDP_SYSTEM_SWEEP_HH
@@ -18,19 +28,11 @@
 #include <vector>
 
 #include "system/config.hh"
+#include "system/results.hh"
 #include "system/system.hh"
 #include "workload/mixes.hh"
 
 namespace fbdp {
-
-/** One row of sweep output. */
-struct SweepRow
-{
-    std::string config;
-    std::string mix;
-    std::uint64_t seed = 0;
-    RunResult result;
-};
 
 /** Cross-product experiment runner. */
 class Sweep
@@ -45,33 +47,51 @@ class Sweep
     /** Add every mix with the given core count. */
     Sweep &addMixGroup(unsigned cores);
 
-    /** Repeat every cell with seeds 1..n (default 1). */
+    /** Repeat every cell with seeds base..base+n-1 (default 1),
+     *  where base is the configuration's SystemConfig::seed — so two
+     *  sweeps can use disjoint seed ranges. */
     Sweep &repeats(unsigned n);
 
-    /** Invoked after each run (progress reporting). */
+    /** Worker threads for run(); 0 (default) means "use FBDP_JOBS
+     *  from the environment, else run serially". */
+    Sweep &jobs(unsigned n);
+
+    /** Invoked after each run, on the calling thread, in row order
+     *  (progress reporting / streaming output). */
     Sweep &onRow(std::function<void(const SweepRow &)> cb);
 
     /** Run everything; rows in config-major order. */
     std::vector<SweepRow> run();
 
-    /** CSV header matching writeCsvRow(). */
+    /** The schema behind every serialisation of sweep rows. */
+    static const ResultSchema &schema();
+
+    /** CSV header matching csvRow() (thin wrapper over schema()). */
     static std::string csvHeader();
 
-    /** One row of CSV for a finished run. */
+    /** One row of CSV for a finished run (wrapper over schema()). */
     static std::string csvRow(const SweepRow &row);
 
     /** Run and stream CSV to @p os (header + one row per run). */
     void runCsv(std::ostream &os);
+
+    /** Run and write the full JSON document to @p os. */
+    void runJson(std::ostream &os);
 
     size_t cells() const
     {
         return configs.size() * mixes.size() * nRepeats;
     }
 
+    /** Worker count run() will actually use (resolves 0 via
+     *  FBDP_JOBS and clamps to the number of cells). */
+    unsigned effectiveJobs() const;
+
   private:
     std::vector<std::pair<std::string, SystemConfig>> configs;
     std::vector<const WorkloadMix *> mixes;
     unsigned nRepeats = 1;
+    unsigned nJobs = 0;
     std::function<void(const SweepRow &)> rowCb;
 };
 

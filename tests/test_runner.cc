@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "system/runner.hh"
 
@@ -64,6 +66,48 @@ TEST(RunnerTest, SmtSpeedupRejectsMismatchedMix)
     RunResult r = runMix(quickRef(), mixByName("1C-gap"));
     EXPECT_DEATH(smtSpeedup(r, mixByName("2C-1"), refs),
                  "mismatch");
+}
+
+TEST(RunnerTest, RunCellsMatchesRunMixInOrder)
+{
+    const WorkloadMix &gap = mixByName("1C-gap");
+    const WorkloadMix &vpr = mixByName("1C-vpr");
+    std::vector<RunCell> cells{{quickRef(), &gap},
+                               {quickRef(), &vpr}};
+    // Parallel batch vs the one-at-a-time helper: identical runs.
+    const auto batch = runCells(cells, 2);
+    ASSERT_EQ(batch.size(), 2u);
+    const RunResult a = runMix(quickRef(), gap);
+    const RunResult b = runMix(quickRef(), vpr);
+    EXPECT_EQ(batch[0].reads, a.reads);
+    EXPECT_DOUBLE_EQ(batch[0].ipcSum(), a.ipcSum());
+    EXPECT_EQ(batch[1].reads, b.reads);
+    EXPECT_DOUBLE_EQ(batch[1].ipcSum(), b.ipcSum());
+}
+
+TEST(RunnerTest, JobsFromEnvParsesAndFallsBack)
+{
+    setenv("FBDP_JOBS", "5", 1);
+    EXPECT_EQ(jobsFromEnv(), 5u);
+    setenv("FBDP_JOBS", "junk", 1);
+    EXPECT_EQ(jobsFromEnv(), 1u);
+    unsetenv("FBDP_JOBS");
+    EXPECT_EQ(jobsFromEnv(), 1u);
+}
+
+TEST(RunnerTest, ReferenceSetIsThreadSafe)
+{
+    ReferenceSet refs(quickRef());
+    std::vector<std::thread> threads;
+    std::vector<double> got(4, 0.0);
+    for (int i = 0; i < 4; ++i)
+        threads.emplace_back(
+            [&refs, &got, i] { got[i] = refs.ipcOf("gap"); });
+    for (auto &t : threads)
+        t.join();
+    for (int i = 1; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(got[0], got[i]);
+    EXPECT_GT(got[0], 0.0);
 }
 
 TEST(RunnerTest, EnvOverridesApply)

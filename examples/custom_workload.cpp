@@ -45,7 +45,7 @@ rawControllerDemo()
 
     std::vector<Tick> completions;
     auto send_read = [&](Addr addr) {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);

@@ -22,6 +22,8 @@
  *   --no-sp           disable software prefetching
  *   --no-refresh      disable DRAM auto-refresh
  *   --apfl            AMB prefetch with full latency (Fig. 9 mode)
+ *   --profile         append an event-kernel profile (events/sec,
+ *                     simulated-insts/sec, queue + pool counters)
  */
 
 #include <cstdlib>
@@ -60,7 +62,7 @@ main(int argc, char **argv)
     std::uint64_t insts = 400'000;
     std::uint64_t warmup = 0;
     bool vrl = false, no_sp = false, no_refresh = false,
-         apfl = false, verbose = false;
+         apfl = false, verbose = false, profile = false;
     unsigned channels = 2, dimms = 4, rate = 667, k = 4,
              entries = 64, ways = 0;
     std::uint64_t seed = 1;
@@ -107,6 +109,8 @@ main(int argc, char **argv)
             apfl = true;
         else if (!std::strcmp(a, "--verbose"))
             verbose = true;
+        else if (!std::strcmp(a, "--profile"))
+            profile = true;
         else
             usage(argv[0]);
     }
@@ -184,6 +188,34 @@ main(int argc, char **argv)
     t.addRow({"L2 misses", std::to_string(r.l2Misses)});
     t.addRow({"sw prefetches", std::to_string(r.swPrefetchesSent)});
     t.print(std::cout);
+
+    if (profile) {
+        const KernelProfile &k = r.kernel;
+        std::cout << "\n";
+        TextTable p({"kernel profile", "value"});
+        p.addRow({"host time, event phases (ms)",
+                  fmtD(k.hostEventSeconds * 1e3, 1)});
+        p.addRow({"events dispatched",
+                  std::to_string(k.eventsDispatched)});
+        p.addRow({"events/sec", fmtD(k.eventsPerSec() / 1e6, 2) + "M"});
+        p.addRow({"simulated insts (run total)",
+                  std::to_string(r.runInsts)});
+        p.addRow({"simulated insts/sec",
+                  fmtD(r.instsPerHostSec() / 1e6, 2) + "M"});
+        p.addRow({"queue schedules", std::to_string(k.schedules)});
+        p.addRow({"queue reschedules",
+                  std::to_string(k.reschedules)});
+        p.addRow({"queue deschedules",
+                  std::to_string(k.deschedules)});
+        p.addRow({"peak queue depth",
+                  std::to_string(k.peakQueueDepth)});
+        p.addRow({"pool acquires", std::to_string(k.poolAcquires)});
+        p.addRow({"pool reuses", std::to_string(k.poolReuses)});
+        p.addRow({"pool high water",
+                  std::to_string(k.poolHighWater)});
+        p.addRow({"pool capacity", std::to_string(k.poolCapacity)});
+        p.print(std::cout);
+    }
 
     if (verbose) {
         std::cout << "\n";

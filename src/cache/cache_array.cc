@@ -15,6 +15,8 @@ CacheArray::CacheArray(std::uint64_t size_bytes, unsigned ways)
                                   / (static_cast<std::uint64_t>(ways)
                                      * lineBytes));
     fbdp_assert(nSets >= 1, "cache has zero sets");
+    if ((nSets & (nSets - 1)) == 0)
+        setMask = nSets - 1;
     lines.resize(static_cast<size_t>(nSets) * nWays);
 }
 

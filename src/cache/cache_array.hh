@@ -64,10 +64,17 @@ class CacheArray
   private:
     unsigned setOf(Addr line_addr) const
     {
-        return static_cast<unsigned>(lineIndex(line_addr) % nSets);
+        // The common geometries (Table 1) all have power-of-two set
+        // counts; the mask avoids a runtime modulo on the hottest
+        // simulator path (every L1/L2 access indexes here).
+        const std::uint64_t idx = lineIndex(line_addr);
+        if (setMask)
+            return static_cast<unsigned>(idx & setMask);
+        return static_cast<unsigned>(idx % nSets);
     }
 
     unsigned nSets;
+    unsigned setMask = 0;  ///< nSets - 1 when nSets is a power of two
     unsigned nWays;
     std::uint64_t nextLru = 0;
     std::vector<Line> lines;  ///< set-major

@@ -45,7 +45,7 @@ CacheHierarchy::l2InstallWithWriteback(Addr line_addr, bool dirty,
 
 CacheHierarchy::Result
 CacheHierarchy::access(int core, Addr addr, bool store,
-                       std::function<void(Tick)> done)
+                       TickCallback done)
 {
     const Addr line = lineAlign(addr);
     auto c = static_cast<size_t>(core);
@@ -133,7 +133,8 @@ CacheHierarchy::fillComplete(Addr line_addr, Tick when)
     // accesses they trigger) observe the line.
     l2InstallWithWriteback(line_addr, false, -1);
 
-    auto waiters = l2Mshr.complete(line_addr, when);
+    l2Mshr.complete(line_addr, when, waiterScratch);
+    auto &waiters = waiterScratch;
     for (auto &w : waiters) {
         if (w.isPrefetch)
             continue;

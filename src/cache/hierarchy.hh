@@ -22,6 +22,7 @@
 #include "cache/cache_array.hh"
 #include "cache/mshr.hh"
 #include "cache/stream_prefetcher.hh"
+#include "common/callback.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
 
@@ -35,7 +36,7 @@ class MemoryIface
 
     /** Fetch a line; @p done fires when data is back at the MC. */
     virtual void read(Addr line_addr, int core_id, bool sw_prefetch,
-                      std::function<void(Tick)> done) = 0;
+                      TickCallback done) = 0;
 
     /** Posted write (writeback). */
     virtual void write(Addr line_addr, int core_id) = 0;
@@ -82,7 +83,7 @@ class CacheHierarchy
      * and the core must retry after its retry hook is poked.
      */
     Result access(int core, Addr addr, bool store,
-                  std::function<void(Tick)> done);
+                  TickCallback done);
 
     /** Non-binding software prefetch into the L2; never blocks. */
     void prefetch(int core, Addr addr);
@@ -137,6 +138,10 @@ class CacheHierarchy
     std::vector<unsigned> l1Pending;  ///< outstanding L1 misses/core
 
     std::vector<std::function<void()>> retryHooks;
+
+    /** Reusable buffer handed to MshrTable::complete; its capacity
+     *  ping-pongs with the freed slot's, so fills allocate nothing. */
+    std::vector<MshrTable::Waiter> waiterScratch;
 
     std::uint64_t nMemReads = 0;
     std::uint64_t nMemWrites = 0;

@@ -7,8 +7,11 @@ namespace fbdp {
 MshrTable::Entry *
 MshrTable::find(Addr line_addr)
 {
-    auto it = entries.find(line_addr);
-    return it == entries.end() ? nullptr : &it->second;
+    for (const auto &[addr, slot] : index) {
+        if (addr == line_addr)
+            return &slots[slot];
+    }
+    return nullptr;
 }
 
 MshrTable::Entry *
@@ -16,7 +19,10 @@ MshrTable::allocate(Addr line_addr, bool prefetch)
 {
     fbdp_assert(!full(), "MSHR allocate on a full table");
     fbdp_assert(!find(line_addr), "duplicate MSHR entry");
-    Entry &e = entries[line_addr];
+    const std::uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+    index.emplace_back(line_addr, slot);
+    Entry &e = slots[slot];
     e.lineAddr = line_addr;
     e.prefetchOnly = prefetch;
     ++nAllocs;
@@ -32,23 +38,40 @@ MshrTable::merge(Entry *e, Waiter w)
     ++nMerges;
 }
 
-std::vector<MshrTable::Waiter>
-MshrTable::complete(Addr line_addr, Tick when)
+void
+MshrTable::complete(Addr line_addr, Tick when, std::vector<Waiter> &out)
 {
-    auto it = entries.find(line_addr);
-    fbdp_assert(it != entries.end(), "completing absent MSHR entry");
     (void)when;
-    std::vector<Waiter> waiters = std::move(it->second.waiters);
-    entries.erase(it);
-    // Callbacks are *not* invoked here: the owning cache installs the
-    // fill first, then notifies, so waiters observe a consistent state.
-    return waiters;
+    for (auto it = index.begin(); it != index.end(); ++it) {
+        if (it->first != line_addr)
+            continue;
+        Entry &e = slots[it->second];
+        // Swap rather than move: the slot inherits out's old buffer,
+        // so steady-state completion allocates nothing.
+        out.clear();
+        out.swap(e.waiters);
+        freeSlots.push_back(it->second);
+        *it = index.back();
+        index.pop_back();
+        // Callbacks are *not* invoked here: the owning cache installs
+        // the fill first, then notifies, so waiters observe a
+        // consistent state.
+        return;
+    }
+    fbdp_assert(false, "completing absent MSHR entry");
 }
 
 void
 MshrTable::reset()
 {
-    entries.clear();
+    for (auto &[addr, slot] : index) {
+        (void)addr;
+        slots[slot].waiters.clear();
+    }
+    index.clear();
+    freeSlots.clear();
+    for (unsigned i = maxEntries; i > 0; --i)
+        freeSlots.push_back(i - 1);
     resetStats();
 }
 

@@ -7,16 +7,21 @@
  * instead of generating more memory traffic.  The table size bounds the
  * memory-level parallelism a cache can expose (Table 1: 32 per-core
  * data MSHRs, 64 at the L2).
+ *
+ * Storage is a fixed slot array plus a compact (lineAddr, slot) index:
+ * the table is at most 64 entries, so a linear probe of the index beats
+ * hash-map node churn, and recycling each slot's waiter vector keeps
+ * the steady state free of per-miss allocations.
  */
 
 #ifndef FBDP_CACHE_MSHR_HH
 #define FBDP_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/callback.hh"
 #include "common/types.hh"
 
 namespace fbdp {
@@ -31,7 +36,7 @@ class MshrTable
         int coreId = -1;
         bool isStore = false;
         bool isPrefetch = false;
-        std::function<void(Tick)> done;
+        TickCallback done;
     };
 
     struct Entry
@@ -41,10 +46,17 @@ class MshrTable
         std::vector<Waiter> waiters;
     };
 
-    explicit MshrTable(unsigned max_entries) : maxEntries(max_entries) {}
+    explicit MshrTable(unsigned max_entries)
+        : maxEntries(max_entries), slots(max_entries)
+    {
+        index.reserve(max_entries);
+        freeSlots.reserve(max_entries);
+        for (unsigned i = max_entries; i > 0; --i)
+            freeSlots.push_back(i - 1);
+    }
 
-    bool full() const { return entries.size() >= maxEntries; }
-    size_t occupancy() const { return entries.size(); }
+    bool full() const { return index.size() >= maxEntries; }
+    size_t occupancy() const { return index.size(); }
     unsigned capacity() const { return maxEntries; }
 
     /** Entry in flight for @p line_addr, or nullptr. */
@@ -60,11 +72,12 @@ class MshrTable
     void merge(Entry *e, Waiter w);
 
     /**
-     * Release the entry for @p line_addr and hand back its waiters.
-     * The caller is responsible for invoking the waiters' callbacks
-     * (after installing the fill).
+     * Release the entry for @p line_addr and swap its waiters into
+     * @p out (whose previous contents are discarded; its buffer is
+     * handed to the freed slot for reuse).  The caller is responsible
+     * for invoking the waiters' callbacks (after installing the fill).
      */
-    std::vector<Waiter> complete(Addr line_addr, Tick when);
+    void complete(Addr line_addr, Tick when, std::vector<Waiter> &out);
 
     std::uint64_t merges() const { return nMerges; }
     std::uint64_t allocations() const { return nAllocs; }
@@ -74,7 +87,11 @@ class MshrTable
 
   private:
     unsigned maxEntries;
-    std::unordered_map<Addr, Entry> entries;
+    std::vector<Entry> slots;  ///< fixed backing store (stable pointers)
+    /** Live entries: (lineAddr, slot).  Order is irrelevant — lookups
+     *  are by unique address — so erase swaps with the back. */
+    std::vector<std::pair<Addr, std::uint32_t>> index;
+    std::vector<std::uint32_t> freeSlots;
 
     std::uint64_t nMerges = 0;
     std::uint64_t nAllocs = 0;

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A lightweight inline callback for the simulator's hot paths.
+ *
+ * InlineCallback is the transaction-path counterpart of the Event
+ * callback: a few captured words stored inline plus a trampoline
+ * function pointer.  Unlike std::function it has no manager, never
+ * allocates, and is trivially copyable — so vectors of waiters and
+ * pooled transactions move callbacks with plain memcpy instead of a
+ * type-erased manager call per element.  Construction is a store of
+ * the capture plus one pointer; invocation is one indirect call.
+ *
+ * Callables must be trivially copyable and fit the inline storage
+ * (capture raw pointers and scalars, not owning objects) — enforced
+ * at compile time.
+ */
+
+#ifndef FBDP_COMMON_CALLBACK_HH
+#define FBDP_COMMON_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hh"
+
+namespace fbdp {
+
+/** Inline, allocation-free `void(Args...)` callback. */
+template <typename... Args>
+class InlineCallback
+{
+  public:
+    /** Inline capture storage, sized for a few pointers. */
+    static constexpr std::size_t capacity = 24;
+
+    InlineCallback() = default;
+    InlineCallback(std::nullptr_t) {}  // NOLINT: implicit, like function
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>
+                  && !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    InlineCallback(F f)  // NOLINT: implicit by design
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= capacity,
+                      "callback too large for inline storage");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "callback over-aligned");
+        static_assert(std::is_trivially_copyable_v<Fn>
+                          && std::is_trivially_destructible_v<Fn>,
+                      "callbacks must be trivially copyable (capture "
+                      "raw pointers/references, not owning objects)");
+        new (store) Fn(std::move(f));
+        tramp = [](void *ctx, Args... a) {
+            (*std::launder(reinterpret_cast<Fn *>(ctx)))(
+                std::forward<Args>(a)...);
+        };
+    }
+
+    explicit operator bool() const { return tramp != nullptr; }
+
+    void
+    operator()(Args... args) const
+    {
+        tramp(const_cast<unsigned char *>(store),
+              std::forward<Args>(args)...);
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char store[capacity];
+    void (*tramp)(void *, Args...) = nullptr;
+};
+
+/** Completion callback carrying the completion tick. */
+using TickCallback = InlineCallback<Tick>;
+
+} // namespace fbdp
+
+#endif // FBDP_COMMON_CALLBACK_HH

@@ -100,7 +100,7 @@ Core::step()
 {
     // The oldest incomplete load pins the ROB window.
     if (!outstandingLoads.empty()
-        && instCount + 1 - *outstandingLoads.begin() > p.rob) {
+        && instCount + 1 - outstandingLoads.front() > p.rob) {
         enterStall(Stall::Rob);
         return false;
     }
@@ -138,15 +138,13 @@ Core::step()
         havePending = false;
         if (res.outcome == CacheHierarchy::Outcome::L1Hit)
             return true;
-        outstandingLoads.insert(seq);
+        fbdp_assert(outstandingLoads.empty()
+                        || outstandingLoads.back() < seq,
+                    "load seqs not monotonic");
+        outstandingLoads.push_back(seq);
         ++nLoads;
-        if (res.outcome == CacheHierarchy::Outcome::L2Hit) {
-            selfDone.emplace(res.doneAt, std::make_pair(seq, true));
-            if (!selfCompleteEvent.scheduled()
-                || selfCompleteEvent.when() > selfDone.begin()->first)
-                eq->schedule(&selfCompleteEvent,
-                             selfDone.begin()->first);
-        }
+        if (res.outcome == CacheHierarchy::Outcome::L2Hit)
+            pushSelfDone(res.doneAt, seq, true);
         return true;
       }
       case TraceOp::Kind::Store: {
@@ -168,17 +166,22 @@ Core::step()
         if (res.outcome == CacheHierarchy::Outcome::L1Hit)
             return true;
         ++nStores;
-        if (res.outcome == CacheHierarchy::Outcome::L2Hit) {
-            selfDone.emplace(res.doneAt, std::make_pair(seq, false));
-            if (!selfCompleteEvent.scheduled()
-                || selfCompleteEvent.when() > selfDone.begin()->first)
-                eq->schedule(&selfCompleteEvent,
-                             selfDone.begin()->first);
-        }
+        if (res.outcome == CacheHierarchy::Outcome::L2Hit)
+            pushSelfDone(res.doneAt, seq, false);
         return true;
       }
     }
     return true;
+}
+
+void
+Core::pushSelfDone(Tick at, std::uint64_t seq, bool is_load)
+{
+    selfDone.push_back(SelfDone{at, selfDoneOrder++, seq, is_load});
+    std::push_heap(selfDone.begin(), selfDone.end(), SelfDoneAfter{});
+    if (!selfCompleteEvent.scheduled()
+        || selfCompleteEvent.when() > selfDone.front().at)
+        eq->schedule(&selfCompleteEvent, selfDone.front().at);
 }
 
 void
@@ -217,8 +220,9 @@ void
 Core::completed(std::uint64_t seq, bool is_load)
 {
     if (is_load) {
-        auto it = outstandingLoads.find(seq);
-        fbdp_assert(it != outstandingLoads.end(),
+        auto it = std::lower_bound(outstandingLoads.begin(),
+                                   outstandingLoads.end(), seq);
+        fbdp_assert(it != outstandingLoads.end() && *it == seq,
                     "%s: unknown load completion", _name.c_str());
         outstandingLoads.erase(it);
         fbdp_assert(nLoads > 0, "load count underflow");
@@ -235,13 +239,15 @@ void
 Core::selfCompleteFire()
 {
     const Tick now = eq->now();
-    while (!selfDone.empty() && selfDone.begin()->first <= now) {
-        auto [seq, is_load] = selfDone.begin()->second;
-        selfDone.erase(selfDone.begin());
-        completed(seq, is_load);
+    while (!selfDone.empty() && selfDone.front().at <= now) {
+        std::pop_heap(selfDone.begin(), selfDone.end(),
+                      SelfDoneAfter{});
+        const SelfDone d = selfDone.back();
+        selfDone.pop_back();
+        completed(d.seq, d.isLoad);
     }
     if (!selfDone.empty())
-        eq->schedule(&selfCompleteEvent, selfDone.begin()->first);
+        eq->schedule(&selfCompleteEvent, selfDone.front().at);
 }
 
 } // namespace fbdp

@@ -23,9 +23,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
@@ -114,15 +113,47 @@ class Core
     TraceOp pending;
     bool havePending = false;
 
-    std::set<std::uint64_t> outstandingLoads;  ///< seq numbers
+    /** Outstanding load seq numbers, ascending.  Loads are issued
+     *  with monotonically growing seqs, so insertion is a push_back
+     *  and the oldest (ROB-pinning) load is the front; the size is
+     *  bounded by the load queue (32), so the erase memmove is cheap
+     *  and no tree nodes churn on the hottest core path. */
+    std::vector<std::uint64_t> outstandingLoads;
     unsigned nLoads = 0;
     unsigned nStores = 0;
 
     Stall stallReason = Stall::None;
     Tick stallSince = 0;
 
-    /** Self-scheduled completions (L2 hits): tick -> (seq, isLoad). */
-    std::multimap<Tick, std::pair<std::uint64_t, bool>> selfDone;
+    /** One self-scheduled completion (an L2 hit maturing). */
+    struct SelfDone
+    {
+        Tick at;
+        std::uint64_t order;  ///< FIFO tie-break within a tick
+        std::uint64_t seq;
+        bool isLoad;
+    };
+
+    /** Min-heap order on (at, order): reproduces the old multimap's
+     *  tick-then-insertion pop sequence. */
+    struct SelfDoneAfter
+    {
+        bool
+        operator()(const SelfDone &a, const SelfDone &b) const
+        {
+            if (a.at != b.at)
+                return a.at > b.at;
+            return a.order > b.order;
+        }
+    };
+
+    void pushSelfDone(Tick at, std::uint64_t seq, bool is_load);
+
+    /** Self-scheduled completions (L2 hits), a (tick, order) min-heap:
+     *  near-monotonic insertion keeps sifts short, and the backing
+     *  vector recycles its capacity (vs per-node multimap churn). */
+    std::vector<SelfDone> selfDone;
+    std::uint64_t selfDoneOrder = 0;
 
     std::uint64_t notifyAt = ~0ull;
     std::function<void()> notifyCb;

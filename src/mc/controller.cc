@@ -181,6 +181,8 @@ void
 MemController::refillWindow()
 {
     while (!overflow.empty() && window.size() < cfg.queueSize) {
+        if (!overflow.front()->isRead())
+            ++windowWrites;
         window.push_back(std::move(overflow.front()));
         overflow.pop_front();
     }
@@ -194,13 +196,11 @@ MemController::wake()
     serviceRefresh(now);
     refillWindow();
 
-    // Write-drain hysteresis.
-    unsigned n_writes = 0;
-    for (const auto &t : window)
-        n_writes += t->isRead() ? 0 : 1;
-    if (!draining && n_writes >= cfg.writeDrainHigh)
+    // Write-drain hysteresis (windowWrites is maintained on window
+    // entry/exit instead of recounted every cycle).
+    if (!draining && windowWrites >= cfg.writeDrainHigh)
         draining = true;
-    if (draining && n_writes <= cfg.writeDrainLow)
+    if (draining && windowWrites <= cfg.writeDrainLow)
         draining = false;
 
     issueCycle(now);
@@ -218,20 +218,12 @@ MemController::slotsFreeNow(Tick now)
 void
 MemController::issueCycle(Tick now)
 {
-    // Build the priority-ordered candidate list: hit-first (AMB hits,
-    // then open-row hits, then in-progress CAS, then the rest FCFS);
-    // reads before writes unless draining.
-    std::vector<Transaction *> cands;
-    cands.reserve(window.size());
-    for (auto &t : window) {
-        if (t->phase == TransPhase::WaitData
-            || t->phase == TransPhase::Complete)
-            continue;
-        if (t->earliestIssue > now)
-            continue;
-        cands.push_back(t.get());
-    }
-
+    // Group candidates by priority class: hit-first (AMB hits, then
+    // open-row hits, then in-progress CAS, then the rest FCFS); reads
+    // before writes unless draining.  The window is kept in mcSeq
+    // order, so scattering preserves FCFS within each bucket and the
+    // bucket-major walk visits candidates in exactly the (bucket,
+    // mcSeq) order the old sort produced — without sorting.
     auto bucket = [this](const Transaction *t) -> int {
         // Lower bucket == higher priority.
         const bool is_read = t->isRead();
@@ -251,18 +243,23 @@ MemController::issueCycle(Tick now)
         return b;
     };
 
-    std::sort(cands.begin(), cands.end(),
-              [&](const Transaction *a, const Transaction *b) {
-                  int ba = bucket(a), bb = bucket(b);
-                  if (ba != bb)
-                      return ba < bb;
-                  return a->mcSeq < b->mcSeq;
-              });
+    for (auto &c : bucketCands)
+        c.clear();
+    for (auto &t : window) {
+        if (t->phase == TransPhase::WaitData
+            || t->phase == TransPhase::Complete)
+            continue;
+        if (t->earliestIssue > now)
+            continue;
+        bucketCands[bucket(t.get())].push_back(t.get());
+    }
 
-    for (Transaction *t : cands) {
-        if (slotsFreeNow(now) == 0)
-            break;
-        tryIssue(t, now);
+    for (auto &c : bucketCands) {
+        for (Transaction *t : c) {
+            if (slotsFreeNow(now) == 0)
+                return;
+            tryIssue(t, now);
+        }
     }
 }
 
@@ -522,28 +519,46 @@ MemController::finish(Transaction *t, Tick ready)
     t->completedAt = ready;
     nChannelBytes += lineBytes;
 
-    // Move ownership from the window into the completion map.
+    // Move ownership from the window into the completion heap.  The
+    // ordered erase (a memmove over at most queueSize pointers) keeps
+    // the window in mcSeq order, which issueCycle relies on.
     for (auto it = window.begin(); it != window.end(); ++it) {
         if (it->get() == t) {
-            completions.emplace(ready, std::move(*it));
+            if (!t->isRead())
+                --windowWrites;
+            completions.push_back(
+                Completion{ready, nextCompletionSeq++, std::move(*it)});
+            std::push_heap(completions.begin(), completions.end(),
+                           CompletionAfter{});
             window.erase(it);
             break;
         }
     }
 
     if (!completionEvent.scheduled()
-        || completionEvent.when() > completions.begin()->first) {
-        eq->schedule(&completionEvent, completions.begin()->first);
+        || completionEvent.when() > completions.front().ready) {
+        eq->schedule(&completionEvent, completions.front().ready);
     }
+}
+
+bool
+MemController::popCompletionDue(Tick now, TransPtr &out)
+{
+    if (completions.empty() || completions.front().ready > now)
+        return false;
+    std::pop_heap(completions.begin(), completions.end(),
+                  CompletionAfter{});
+    out = std::move(completions.back().t);
+    completions.pop_back();
+    return true;
 }
 
 void
 MemController::completionFire()
 {
     const Tick now = eq->now();
-    while (!completions.empty() && completions.begin()->first <= now) {
-        TransPtr t = std::move(completions.begin()->second);
-        completions.erase(completions.begin());
+    TransPtr t;
+    while (popCompletionDue(now, t)) {
         if (t->isRead()) {
             ++nReadsDone;
             readLatTotal +=
@@ -553,9 +568,10 @@ MemController::completionFire()
         }
         if (t->onComplete)
             t->onComplete(t->completedAt);
+        t.reset();
     }
     if (!completions.empty())
-        eq->schedule(&completionEvent, completions.begin()->first);
+        eq->schedule(&completionEvent, completions.front().ready);
 }
 
 double

@@ -26,8 +26,7 @@
 #define FBDP_MC_CONTROLLER_HH
 
 #include <cstdint>
-#include <list>
-#include <map>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -182,9 +181,47 @@ class MemController
     std::unique_ptr<PrefetchTable> table;
     std::unique_ptr<PrefetchTable> mcBuf;  ///< one pseudo-DIMM
 
-    std::list<TransPtr> window;          ///< reorder window
-    std::list<TransPtr> overflow;        ///< waiting to enter window
-    std::multimap<Tick, TransPtr> completions;
+    /** One finished transaction waiting for its data to arrive. */
+    struct Completion
+    {
+        Tick ready;
+        std::uint64_t seq;  ///< FIFO tie-break within a tick
+        TransPtr t;
+    };
+
+    /** Min-heap order on (ready, seq); seq is unique, so the pop
+     *  sequence reproduces the old std::multimap exactly. */
+    struct CompletionAfter
+    {
+        bool
+        operator()(const Completion &a, const Completion &b) const
+        {
+            if (a.ready != b.ready)
+                return a.ready > b.ready;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop completions due at or before @p now, FIFO within a tick. */
+    bool popCompletionDue(Tick now, TransPtr &out);
+
+    /** Number of scheduler priority classes (see issueCycle). */
+    static constexpr int numBuckets = 6;
+
+    std::vector<TransPtr> window;        ///< reorder window, mcSeq order
+    std::deque<TransPtr> overflow;       ///< waiting to enter window
+    unsigned windowWrites = 0;           ///< writes inside the window
+
+    /** Per-cycle scratch: candidates grouped by priority bucket.
+     *  Members so their capacity is recycled across cycles (the old
+     *  build-and-sort path allocated and freed a vector per memory
+     *  cycle, which dominated the profile). */
+    std::vector<Transaction *> bucketCands[numBuckets];
+    /** Completed-but-in-flight transactions, a (ready, seq) min-heap:
+     *  insertion is near-monotonic in ready time, so sift distances
+     *  are short and no per-node allocation happens (vs multimap). */
+    std::vector<Completion> completions;
+    std::uint64_t nextCompletionSeq = 0;
 
     bool draining = false;
     std::uint64_t nextMcSeq = 0;

@@ -12,6 +12,8 @@ AmbCache::AmbCache(unsigned entries, unsigned ways)
     fbdp_assert(entries >= 1, "AMB cache needs at least one entry");
     fbdp_assert(nWays >= 1 && entries % nWays == 0,
                 "entries %u not divisible by ways %u", entries, nWays);
+    if ((nSets & (nSets - 1)) == 0)
+        setMask = nSets - 1;
     lines.resize(entries);
 }
 
@@ -26,6 +28,8 @@ AmbCache::setOf(Addr line_addr) const
     std::uint64_t l = lineIndex(line_addr);
     l ^= l >> 5;
     l ^= l >> 11;
+    if (setMask)
+        return static_cast<unsigned>(l & setMask);
     return static_cast<unsigned>(l % nSets);
 }
 
@@ -50,29 +54,67 @@ AmbCache::lookup(Addr line_addr) const
 AmbCache::Line *
 AmbCache::insert(Addr line_addr, Tick ready_at)
 {
-    if (Line *existing = lookup(line_addr)) {
-        existing->readyAt = ready_at;
-        existing->fifoSeq = nextSeq++;
-        return existing;
-    }
-
+    // One pass gathers the match, the first invalid way, and the FIFO
+    // victim together (insert runs K times per region fetch, so the
+    // set scan is hot).
     const unsigned set = setOf(line_addr);
     Line *base = &lines[static_cast<size_t>(set) * nWays];
 
-    Line *victim = nullptr;
+    Line *first_invalid = nullptr;
+    Line *oldest = base;
     for (unsigned w = 0; w < nWays; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
+        Line &l = base[w];
+        if (l.valid && l.lineAddr == line_addr) {
+            l.readyAt = ready_at;
+            l.fifoSeq = nextSeq++;
+            return &l;
+        }
+        if (!l.valid) {
+            if (!first_invalid)
+                first_invalid = &l;
+        } else if (l.fifoSeq < oldest->fifoSeq) {
+            oldest = &l;
         }
     }
+
+    Line *victim = first_invalid;
     if (!victim) {
         // FIFO: evict the oldest insertion in the set.
-        victim = &base[0];
-        for (unsigned w = 1; w < nWays; ++w) {
-            if (base[w].fifoSeq < victim->fifoSeq)
-                victim = &base[w];
+        victim = oldest;
+        ++nEvictions;
+    }
+
+    victim->lineAddr = line_addr;
+    victim->readyAt = ready_at;
+    victim->valid = true;
+    victim->fifoSeq = nextSeq++;
+    ++nInsertions;
+    return victim;
+}
+
+AmbCache::Line *
+AmbCache::insertIfAbsent(Addr line_addr, Tick ready_at)
+{
+    const unsigned set = setOf(line_addr);
+    Line *base = &lines[static_cast<size_t>(set) * nWays];
+
+    Line *first_invalid = nullptr;
+    Line *oldest = base;
+    for (unsigned w = 0; w < nWays; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.lineAddr == line_addr)
+            return &l;  // resident: keep FIFO age and readiness
+        if (!l.valid) {
+            if (!first_invalid)
+                first_invalid = &l;
+        } else if (l.fifoSeq < oldest->fifoSeq) {
+            oldest = &l;
         }
+    }
+
+    Line *victim = first_invalid;
+    if (!victim) {
+        victim = oldest;
         ++nEvictions;
     }
 

@@ -64,6 +64,14 @@ class AmbCache
      */
     Line *insert(Addr line_addr, Tick ready_at);
 
+    /**
+     * Insert only when absent: a resident entry keeps its FIFO age
+     * and readiness (true FIFO retires by first insertion).  Single
+     * set scan — the group-fetch hot path.
+     * @return the resident or inserted line.
+     */
+    Line *insertIfAbsent(Addr line_addr, Tick ready_at);
+
     /** Drop a line if present. @return true if something was dropped. */
     bool invalidate(Addr line_addr);
 
@@ -86,6 +94,7 @@ class AmbCache
     unsigned nEntries;
     unsigned nWays;
     unsigned nSets;
+    unsigned setMask = 0;  ///< nSets - 1 when nSets is a power of two
     std::uint64_t nextSeq = 0;
 
     std::uint64_t nInsertions = 0;

@@ -33,8 +33,7 @@ PrefetchTable::insertGroup(unsigned dimm_idx, Addr region_base,
             continue;
         // A line that is already resident keeps its FIFO age; true
         // FIFO retires by first insertion, not by re-fetch.
-        if (!c.lookup(la))
-            c.insert(la, AmbCache::fillPending);
+        c.insertIfAbsent(la, AmbCache::fillPending);
         ++nPrefetches;
     }
 }

@@ -181,6 +181,102 @@ ResultSchema::sweepRows()
     return schema;
 }
 
+const ResultSchema &
+ResultSchema::kernelStats()
+{
+    static const ResultSchema schema = [] {
+        ResultSchema s;
+        auto count =
+            [](std::string name, std::string unit, std::string desc,
+               std::function<std::uint64_t(const SweepRow &)> f) {
+                return Column{std::move(name), std::move(unit),
+                              std::move(desc), ColumnKind::Count,
+                              [f = std::move(f)](const SweepRow &r) {
+                                  return ColumnValue::ofCount(f(r));
+                              }};
+            };
+        auto real = [](std::string name, std::string unit,
+                       std::string desc,
+                       std::function<double(const SweepRow &)> f) {
+            return Column{std::move(name), std::move(unit),
+                          std::move(desc), ColumnKind::Real,
+                          [f = std::move(f)](const SweepRow &r) {
+                              return ColumnValue::ofReal(f(r));
+                          }};
+        };
+
+        s.add(Column{"config", "", "machine configuration name",
+                     ColumnKind::Text, [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.config);
+                     }});
+        s.add(Column{"mix", "", "workload mix name", ColumnKind::Text,
+                     [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.mix);
+                     }});
+        s.add(count("events_dispatched", "events",
+                    "event callbacks invoked",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.eventsDispatched;
+                    }));
+        s.add(count("schedules", "ops", "schedule() of an idle event",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.schedules;
+                    }));
+        s.add(count("reschedules", "ops",
+                    "schedule() of a live event (moved in place)",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.reschedules;
+                    }));
+        s.add(count("deschedules", "ops",
+                    "deschedule() of a live event",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.deschedules;
+                    }));
+        s.add(count("peak_queue_depth", "events",
+                    "max simultaneous scheduled events",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.peakQueueDepth;
+                    }));
+        s.add(count("pool_acquires", "ops",
+                    "transactions handed out by the pool",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.poolAcquires;
+                    }));
+        s.add(count("pool_reuses", "ops",
+                    "pool acquires served from the freelist",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.poolReuses;
+                    }));
+        s.add(count("pool_high_water", "objects",
+                    "max simultaneously live transactions",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.poolHighWater;
+                    }));
+        s.add(count("pool_capacity", "objects",
+                    "transaction objects ever carved by the pool",
+                    [](const SweepRow &r) {
+                        return r.result.kernel.poolCapacity;
+                    }));
+        s.add(real("host_event_seconds", "s",
+                   "host wall time inside the event-driven phases",
+                   [](const SweepRow &r) {
+                       return r.result.kernel.hostEventSeconds;
+                   }));
+        s.add(real("events_per_sec", "events/s",
+                   "dispatch throughput over the event-driven phases",
+                   [](const SweepRow &r) {
+                       return r.result.kernel.eventsPerSec();
+                   }));
+        s.add(real("insts_per_sec", "insts/s",
+                   "simulated instructions per host second",
+                   [](const SweepRow &r) {
+                       return r.result.instsPerHostSec();
+                   }));
+        return s;
+    }();
+    return schema;
+}
+
 std::string
 ResultSchema::csvHeader() const
 {

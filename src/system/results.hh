@@ -89,6 +89,15 @@ class ResultSchema
     /** The canonical SweepRow schema (the legacy CSV layout). */
     static const ResultSchema &sweepRows();
 
+    /**
+     * Event-kernel profile columns (queue counters, transaction-pool
+     * occupancy, sim-rate).  A separate table on purpose: sweepRows()
+     * is a byte-for-byte compatibility surface and must not grow
+     * columns, and host-time-derived rates are not comparable across
+     * machines the way simulation results are.
+     */
+    static const ResultSchema &kernelStats();
+
     /** Comma-joined column names. */
     std::string csvHeader() const;
 

@@ -20,12 +20,17 @@ runMix(const SystemConfig &base, const WorkloadMix &mix)
 unsigned
 jobsFromEnv()
 {
-    if (const char *e = std::getenv("FBDP_JOBS")) {
-        const long long v = std::atoll(e);
-        if (v > 0)
-            return static_cast<unsigned>(v);
+    const char *e = std::getenv("FBDP_JOBS");
+    if (!e || !*e)
+        return 1;
+    char *end = nullptr;
+    const long long v = std::strtoll(e, &end, 10);
+    if (end == e || *end != '\0' || v < 1 || v > 1024) {
+        warn("ignoring FBDP_JOBS='%s': expected a worker count in "
+             "[1, 1024]; running serially", e);
+        return 1;
     }
-    return 1;
+    return static_cast<unsigned>(v);
 }
 
 std::vector<RunResult>

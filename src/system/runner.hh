@@ -39,8 +39,13 @@ struct RunCell
 std::vector<RunResult> runCells(const std::vector<RunCell> &cells,
                                 unsigned jobs = 0);
 
-/** Worker count requested by the FBDP_JOBS environment variable
- *  (>= 1; 1 when unset or garbage). */
+/**
+ * Worker count requested by the FBDP_JOBS environment variable.
+ * Accepted values are decimal integers in [1, 1024]; unset or empty
+ * means serial (1).  Anything else — non-numeric text, trailing
+ * junk, zero, negatives, absurd counts — logs a warning and falls
+ * back to serial rather than silently misconfiguring the pool.
+ */
 unsigned jobsFromEnv();
 
 /**

@@ -1,9 +1,11 @@
 #include "system/system.hh"
 
+#include <chrono>
 #include <ostream>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "mc/transaction.hh"
 
 namespace fbdp {
 
@@ -34,9 +36,9 @@ MemorySystem::MemorySystem(
 
 void
 MemorySystem::read(Addr line_addr, int core_id, bool sw_prefetch,
-                   std::function<void(Tick)> done)
+                   TickCallback done)
 {
-    auto t = std::make_unique<Transaction>();
+    auto t = makeTransaction();
     t->cmd = MemCmd::Read;
     t->lineAddr = lineAlign(line_addr);
     t->coreId = core_id;
@@ -50,7 +52,7 @@ MemorySystem::read(Addr line_addr, int core_id, bool sw_prefetch,
 void
 MemorySystem::write(Addr line_addr, int core_id)
 {
-    auto t = std::make_unique<Transaction>();
+    auto t = makeTransaction();
     t->cmd = MemCmd::Write;
     t->lineAddr = lineAlign(line_addr);
     t->coreId = core_id;
@@ -138,6 +140,10 @@ System::run()
         }
     }
 
+    // Time the event-driven phases only: sim-rate should reflect the
+    // kernel, not process start-up or the functional replay above.
+    const auto host0 = std::chrono::steady_clock::now();
+
     // Phase 1: warm up until the first core has executed warmupInsts.
     phaseDone = false;
     for (auto &c : cores) {
@@ -161,6 +167,8 @@ System::run()
     }
     fbdp_assert(phaseDone, "simulation drained during measurement");
 
+    hostEventSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - host0).count();
     return collect(eq.now() - t0);
 }
 
@@ -326,6 +334,25 @@ System::collect(Tick window_ticks) const
     r.l2Misses = hier->l2Misses();
     r.l2Hits = hier->l2Hits();
     r.swPrefetchesSent = hier->prefetchesSent();
+
+    for (const auto &c : cores)
+        r.runInsts += c->insts();
+
+    const EventQueue::Counters &qc = eq.counters();
+    r.kernel.eventsDispatched = qc.dispatched;
+    r.kernel.schedules = qc.schedules;
+    r.kernel.reschedules = qc.reschedules;
+    r.kernel.deschedules = qc.deschedules;
+    r.kernel.peakQueueDepth = qc.peakDepth;
+    // The pool is thread-local and shared by every System this thread
+    // has run, so the counters are cumulative across runs; high water
+    // and capacity are still per-thread facts worth reporting.
+    const TransPool::Stats &ps = TransPool::local().stats();
+    r.kernel.poolAcquires = ps.acquires;
+    r.kernel.poolReuses = ps.reuses;
+    r.kernel.poolHighWater = ps.highWater;
+    r.kernel.poolCapacity = ps.capacity;
+    r.kernel.hostEventSeconds = hostEventSeconds;
     return r;
 }
 

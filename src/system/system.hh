@@ -24,6 +24,38 @@
 
 namespace fbdp {
 
+/**
+ * Event-kernel activity of one simulation: queue counters, transaction
+ * pool occupancy and the host time spent inside the event-driven
+ * phases (timed warm-up + measurement; construction and the functional
+ * cache warm-up are excluded, they run no events).  Collected on every
+ * run — the counters are maintained on the hot path anyway — and
+ * reported by `fbdpsim --profile` and ResultSchema::kernelStats().
+ */
+struct KernelProfile
+{
+    std::uint64_t eventsDispatched = 0;
+    std::uint64_t schedules = 0;     ///< schedule() of an idle event
+    std::uint64_t reschedules = 0;   ///< schedule() of a live event
+    std::uint64_t deschedules = 0;
+    std::uint64_t peakQueueDepth = 0;
+
+    std::uint64_t poolAcquires = 0;   ///< transactions handed out
+    std::uint64_t poolReuses = 0;     ///< acquires served by freelist
+    std::uint64_t poolHighWater = 0;  ///< max simultaneous live
+    std::uint64_t poolCapacity = 0;   ///< objects ever carved
+
+    double hostEventSeconds = 0.0;    ///< wall time in the event loop
+
+    /** Dispatch throughput over the event-driven phases. */
+    double eventsPerSec() const
+    {
+        return hostEventSeconds > 0.0
+            ? static_cast<double>(eventsDispatched) / hostEventSeconds
+            : 0.0;
+    }
+};
+
 /** Measured outcome of one simulation. */
 struct RunResult
 {
@@ -45,6 +77,20 @@ struct RunResult
     std::uint64_t l2Hits = 0;
     std::uint64_t swPrefetchesSent = 0;
 
+    /** Simulated instructions over the whole run (warm-up included),
+     *  all cores — the numerator of the sim-rate metric. */
+    std::uint64_t runInsts = 0;
+
+    KernelProfile kernel;
+
+    /** Simulated-instructions per host second (event-driven phases). */
+    double instsPerHostSec() const
+    {
+        return kernel.hostEventSeconds > 0.0
+            ? static_cast<double>(runInsts) / kernel.hostEventSeconds
+            : 0.0;
+    }
+
     /** Sum of per-core IPCs (throughput). */
     double ipcSum() const;
 
@@ -60,7 +106,7 @@ class MemorySystem : public MemoryIface
                  std::vector<std::unique_ptr<MemController>> *ctrls);
 
     void read(Addr line_addr, int core_id, bool sw_prefetch,
-              std::function<void(Tick)> done) override;
+              TickCallback done) override;
     void write(Addr line_addr, int core_id) override;
 
   private:
@@ -105,6 +151,9 @@ class System
 
     SystemConfig cfg;
     EventQueue eq;
+
+    /** Host wall time of the last run()'s event-driven phases. */
+    double hostEventSeconds = 0.0;
 
     std::unique_ptr<AddressMap> map;
     std::vector<std::unique_ptr<MemController>> controllers;

@@ -71,7 +71,8 @@ SyntheticGenerator::next()
         // (round-robin), like the arrays of a vector inner loop.
         const size_t idx = nextStream;
         Stream &s = streams[idx];
-        nextStream = (nextStream + 1) % streams.size();
+        if (++nextStream == streams.size())
+            nextStream = 0;
         if (rng.chance(prof.jumpProb)
             || s.cursor + prof.elemBytes
                >= s.laneBase + s.laneSize) {

@@ -53,7 +53,7 @@ class ControllerTest : public ::testing::Test
     makeRead(const AddressMap &map, Addr addr,
              std::vector<Tick> *done = nullptr)
     {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);
@@ -68,7 +68,7 @@ class ControllerTest : public ::testing::Test
     TransPtr
     makeWrite(const AddressMap &map, Addr addr)
     {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Write;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);
@@ -299,7 +299,7 @@ TEST_F(ControllerTest, VrlLatencyScalesPerDimm)
         cfg.vrl = true;
         MemController mc("mc", &local_eq, cfg);
         std::vector<Tick> done;
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = static_cast<Addr>(d) * lineBytes;
         t->coord = map.map(t->lineAddr);
@@ -334,7 +334,7 @@ TEST_P(ControllerRateTest, IdleLatenciesTrackDataRate)
         cfg.timing = DramTiming::forDataRate(rate);
         MemController mc("mc", &eq, cfg);
         std::vector<Tick> done;
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = 0;
         t->coord = map.map(0);

@@ -52,7 +52,7 @@ class ControllerApTest : public ::testing::Test
     TransPtr
     makeRead(Addr addr, std::vector<Tick> *done = nullptr)
     {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);
@@ -65,7 +65,7 @@ class ControllerApTest : public ::testing::Test
     TransPtr
     makeWrite(Addr addr)
     {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Write;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);
@@ -187,7 +187,7 @@ TEST_F(ControllerApTest, RegionSizeTwo)
     MemController mc("mc", &eq, apCfg(2));
     std::vector<Tick> done;
     auto rd = [&](Addr a) {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = lineAlign(a);
         t->coord = map2.map(a);
@@ -232,7 +232,7 @@ TEST_F(ControllerApTest, LowerAssociativityNeverBeatsFull)
         Rng rng(99);
         for (unsigned i = 0; i < 400; ++i) {
             Addr a = rng.below(2048) * lineBytes;
-            auto t = std::make_unique<Transaction>();
+            auto t = makeTransaction();
             t->cmd = MemCmd::Read;
             t->lineAddr = lineAlign(a);
             t->coord = map.map(a);

@@ -71,7 +71,7 @@ TEST_P(ControllerStress, RandomTrafficAllCompletes)
         const unsigned burst = 1 + rng.below(6);
         for (unsigned b = 0; b < burst && injected < n; ++b) {
             ++injected;
-            auto t = std::make_unique<Transaction>();
+            auto t = makeTransaction();
             const bool is_read = rng.chance(0.7);
             t->cmd = is_read ? MemCmd::Read : MemCmd::Write;
             Addr addr = rng.chance(0.5)
@@ -124,6 +124,71 @@ TEST_P(ControllerStress, RandomTrafficAllCompletes)
         // Group fetches add K-1 extra CASes per miss; hits add none.
         EXPECT_GE(mc.dramOps().rdCas + mc.ambHits(), reads_sent);
     }
+}
+
+/** One self-contained burst of mixed traffic (for the pool test). */
+void
+runBurst(std::uint64_t seed)
+{
+    EventQueue eq;
+    AddressMapConfig mc_cfg;
+    mc_cfg.channels = 1;
+    mc_cfg.dimmsPerChannel = 4;
+    mc_cfg.banksPerDimm = 4;
+    mc_cfg.regionLines = 4;
+    mc_cfg.scheme = Interleave::MultiCacheline;
+    AddressMap map(mc_cfg);
+
+    ControllerConfig cfg;
+    cfg.fbd = true;
+    cfg.apEnable = true;
+    MemController mc("mc", &eq, cfg);
+
+    Rng rng(seed);
+    unsigned completions = 0;
+    for (unsigned i = 0; i < 2000; ++i) {
+        auto t = makeTransaction();
+        const bool is_read = rng.chance(0.7);
+        t->cmd = is_read ? MemCmd::Read : MemCmd::Write;
+        const Addr addr = rng.below(1u << 16) * lineBytes;
+        t->lineAddr = lineAlign(addr);
+        t->coord = map.map(addr);
+        t->created = eq.now();
+        if (is_read)
+            t->onComplete = [&completions](Tick) { ++completions; };
+        mc.push(std::move(t));
+        if ((i & 7u) == 0) {
+            Event idle([] {});
+            eq.schedule(&idle, eq.now() + rng.below(nsToTicks(40)));
+            eq.run(eq.now() + nsToTicks(20));
+        }
+    }
+    eq.run();
+    EXPECT_EQ(mc.occupancy(), 0u);
+    EXPECT_GT(completions, 0u);
+}
+
+TEST(TransPoolSteadyState, SecondPassAllocatesNothing)
+{
+    // First pass drives the in-flight population to its high-water
+    // mark; the pool may carve chunks while getting there.
+    runBurst(0xbeef);
+    const TransPool::Stats snap = TransPool::local().stats();
+    EXPECT_GT(snap.highWater, 0u);
+
+    // Steady state: identical traffic must be served entirely from
+    // the freelist — capacity frozen, every acquire a reuse.
+    runBurst(0xbeef);
+    const TransPool::Stats &st = TransPool::local().stats();
+    EXPECT_EQ(st.capacity, snap.capacity)
+        << "pool allocated in steady state";
+    EXPECT_EQ(st.acquires - snap.acquires, st.reuses - snap.reuses)
+        << "an acquire missed the freelist";
+
+    // The pool never carves beyond one chunk past the high-water
+    // population (chunk size 64).
+    EXPECT_GE(st.capacity, st.highWater);
+    EXPECT_LT(st.capacity, st.highWater + 64);
 }
 
 INSTANTIATE_TEST_SUITE_P(

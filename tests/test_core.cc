@@ -87,7 +87,7 @@ class LatencyMemory : public MemoryIface
     }
 
     void
-    read(Addr, int, bool, std::function<void(Tick)> done) override
+    read(Addr, int, bool, TickCallback done) override
     {
         ++reads;
         pending.emplace(eq->now() + latency, std::move(done));
@@ -115,7 +115,7 @@ class LatencyMemory : public MemoryIface
 
     EventQueue *eq;
     Tick latency;
-    std::multimap<Tick, std::function<void(Tick)>> pending;
+    std::multimap<Tick, TickCallback> pending;
     Event fireEvent;
 };
 

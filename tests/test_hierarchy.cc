@@ -22,12 +22,12 @@ class FakeMemory : public MemoryIface
         Addr line;
         int core;
         bool prefetch;
-        std::function<void(Tick)> done;
+        TickCallback done;
     };
 
     void
     read(Addr line_addr, int core_id, bool sw_prefetch,
-         std::function<void(Tick)> done) override
+         TickCallback done) override
     {
         reads.push_back({line_addr, core_id, sw_prefetch,
                          std::move(done)});

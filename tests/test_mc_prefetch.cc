@@ -47,7 +47,7 @@ class McPrefetchTest : public ::testing::Test
     TransPtr
     makeRead(Addr addr, std::vector<Tick> *done)
     {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);
@@ -109,7 +109,7 @@ TEST_F(McPrefetchTest, WritesInvalidateBuffer)
     std::vector<Tick> done;
     mc.push(makeRead(0, &done));
     eq.run();
-    auto w = std::make_unique<Transaction>();
+    auto w = makeTransaction();
     w->cmd = MemCmd::Write;
     w->lineAddr = lineBytes;
     w->coord = map.map(lineBytes);

@@ -52,7 +52,8 @@ TEST(MshrTest, MergeAttachesWaiters)
     m.merge(e, waiter(0));
     m.merge(e, waiter(1, true));
     EXPECT_EQ(m.merges(), 2u);
-    auto ws = m.complete(line(1), 100);
+    std::vector<MshrTable::Waiter> ws;
+    m.complete(line(1), 100, ws);
     ASSERT_EQ(ws.size(), 2u);
     EXPECT_EQ(ws[0].coreId, 0);
     EXPECT_TRUE(ws[1].isStore);
@@ -64,7 +65,8 @@ TEST(MshrTest, CompleteFreesCapacity)
     MshrTable m(1);
     m.allocate(line(1), false);
     EXPECT_TRUE(m.full());
-    m.complete(line(1), 0);
+    std::vector<MshrTable::Waiter> ws;
+    m.complete(line(1), 0, ws);
     EXPECT_FALSE(m.full());
     EXPECT_NE(m.allocate(line(2), false), nullptr);
 }
@@ -90,7 +92,8 @@ TEST(MshrTest, CompleteDoesNotInvokeCallbacks)
     MshrTable::Waiter w = waiter(0);
     w.done = [&called](Tick) { ++called; };
     m.merge(e, std::move(w));
-    auto ws = m.complete(line(1), 55);
+    std::vector<MshrTable::Waiter> ws;
+    m.complete(line(1), 55, ws);
     EXPECT_EQ(called, 0);
     ASSERT_EQ(ws.size(), 1u);
     ws[0].done(55);
@@ -114,7 +117,8 @@ TEST(MshrTest, AllocateWhenFullPanics)
 TEST(MshrTest, CompleteAbsentPanics)
 {
     MshrTable m(1);
-    EXPECT_DEATH(m.complete(line(1), 0), "absent");
+    std::vector<MshrTable::Waiter> ws;
+    EXPECT_DEATH(m.complete(line(1), 0, ws), "absent");
 }
 
 TEST(MshrTest, ResetClearsEntriesAndStats)

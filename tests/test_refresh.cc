@@ -46,7 +46,7 @@ class RefreshTest : public ::testing::Test
     TransPtr
     makeRead(Addr addr, std::vector<Tick> *done)
     {
-        auto t = std::make_unique<Transaction>();
+        auto t = makeTransaction();
         t->cmd = MemCmd::Read;
         t->lineAddr = lineAlign(addr);
         t->coord = map.map(addr);
@@ -141,7 +141,7 @@ TEST_F(RefreshTest, WorksWithOpenPagePolicy)
     Addr a = 0;
     unsigned sent = 0;
     while (eq.now() < 2 * t.tREFI) {
-        auto tr = std::make_unique<Transaction>();
+        auto tr = makeTransaction();
         tr->cmd = MemCmd::Read;
         tr->lineAddr = lineAlign(a);
         tr->coord = pmap.map(a);
@@ -167,7 +167,7 @@ TEST_F(RefreshTest, ApSurvivesRefresh)
     const DramTiming t = DramTiming::forDataRate(667);
     Addr a = 0;
     while (eq.now() < 2 * t.tREFI) {
-        auto tr = std::make_unique<Transaction>();
+        auto tr = makeTransaction();
         tr->cmd = MemCmd::Read;
         tr->lineAddr = lineAlign(a);
         tr->coord = amap.map(a);

@@ -89,8 +89,15 @@ TEST(RunnerTest, JobsFromEnvParsesAndFallsBack)
 {
     setenv("FBDP_JOBS", "5", 1);
     EXPECT_EQ(jobsFromEnv(), 5u);
-    setenv("FBDP_JOBS", "junk", 1);
-    EXPECT_EQ(jobsFromEnv(), 1u);
+    setenv("FBDP_JOBS", "1024", 1);
+    EXPECT_EQ(jobsFromEnv(), 1024u);
+    // Garbage, out-of-range and trailing-junk values all warn and
+    // fall back to serial instead of silently parsing to 0.
+    for (const char *bad : {"junk", "max", "0", "-3", "8x", "2000",
+                            ""}) {
+        setenv("FBDP_JOBS", bad, 1);
+        EXPECT_EQ(jobsFromEnv(), 1u) << "FBDP_JOBS='" << bad << "'";
+    }
     unsetenv("FBDP_JOBS");
     EXPECT_EQ(jobsFromEnv(), 1u);
 }

@@ -28,6 +28,7 @@
 
 #include "mc/transaction.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 #include "system/config.hh"
 #include "system/runner.hh"
 #include "workload/mixes.hh"
@@ -331,6 +332,64 @@ BM_FullSystemSimRate(benchmark::State &state)
             : 0.0);
 }
 BENCHMARK(BM_FullSystemSimRate)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- //
+// Cost of the always-compiled trace points.  SimRateTraceDisabled   //
+// runs with the tracer detached — every trace point reduces to one  //
+// branch on a null pointer — and pairs with BM_FullSystemSimRate    //
+// above (built before the trace points existed in older revisions)  //
+// to bound the disabled-observability overhead.  SimRateTraced      //
+// records a full lifecycle trace into the ring buffer (no export),  //
+// measuring the enabled cost.                                       //
+// ---------------------------------------------------------------- //
+
+void
+BM_FullSystemSimRateTraceDisabled(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::fbdAp();
+    cfg.measureInsts = 20'000;
+    cfg.warmupInsts = 5'000;
+    const WorkloadMix &mix = mixByName("2C-1");
+    cfg.benchmarks = mix.benches;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        System sys(cfg);
+        sys.attachTracer(nullptr);
+        RunResult r = sys.run();
+        insts += r.runInsts;
+        benchmark::DoNotOptimize(r.ipcSum());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_FullSystemSimRateTraceDisabled)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FullSystemSimRateTraced(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::fbdAp();
+    cfg.measureInsts = 20'000;
+    cfg.warmupInsts = 5'000;
+    const WorkloadMix &mix = mixByName("2C-1");
+    cfg.benchmarks = mix.benches;
+    std::uint64_t insts = 0, recorded = 0;
+    for (auto _ : state) {
+        trace::Tracer tracer{trace::Filter{}};
+        System sys(cfg);
+        sys.attachTracer(&tracer);
+        RunResult r = sys.run();
+        insts += r.runInsts;
+        recorded += tracer.recorded();
+        benchmark::DoNotOptimize(r.ipcSum());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.counters["trace_events"] = benchmark::Counter(
+        state.iterations()
+            ? static_cast<double>(recorded)
+                / static_cast<double>(state.iterations())
+            : 0.0);
+}
+BENCHMARK(BM_FullSystemSimRateTraced)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

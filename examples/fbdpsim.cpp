@@ -24,16 +24,30 @@
  *   --apfl            AMB prefetch with full latency (Fig. 9 mode)
  *   --profile         append an event-kernel profile (events/sec,
  *                     simulated-insts/sec, queue + pool counters)
+ *
+ * Observability (all off by default; attaching them does not change
+ * simulation results):
+ *   --trace-out F     write a transaction-lifecycle trace as Chrome
+ *                     trace_event JSON (load in Perfetto / about:tracing)
+ *   --trace-filter S  restrict the trace, e.g. chan=0,kind=read|prefetch
+ *   --telemetry-out F write per-epoch gauges; .csv extension selects
+ *                     CSV, anything else JSON-lines
+ *   --epoch T         telemetry epoch, e.g. 500ns / 1us / 2ms
+ *                     (default 1us)
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "power/power_model.hh"
+#include "sim/trace.hh"
 #include "system/metrics.hh"
 #include "system/runner.hh"
+#include "system/telemetry.hh"
 #include "workload/mixes.hh"
 
 namespace {
@@ -66,6 +80,7 @@ main(int argc, char **argv)
     unsigned channels = 2, dimms = 4, rate = 667, k = 4,
              entries = 64, ways = 0;
     std::uint64_t seed = 1;
+    std::string trace_out, trace_filter, telemetry_out, epoch_spec;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -111,6 +126,14 @@ main(int argc, char **argv)
             verbose = true;
         else if (!std::strcmp(a, "--profile"))
             profile = true;
+        else if (!std::strcmp(a, "--trace-out"))
+            trace_out = need(i);
+        else if (!std::strcmp(a, "--trace-filter"))
+            trace_filter = need(i);
+        else if (!std::strcmp(a, "--telemetry-out"))
+            telemetry_out = need(i);
+        else if (!std::strcmp(a, "--epoch"))
+            epoch_spec = need(i);
         else
             usage(argv[0]);
     }
@@ -153,7 +176,51 @@ main(int argc, char **argv)
     const WorkloadMix &mix = mixByName(mix_name);
     cfg.benchmarks = mix.benches;
     System sys(cfg);
+
+    std::unique_ptr<trace::Tracer> tracer;
+    if (!trace_out.empty()) {
+        trace::Filter filter;
+        if (!trace_filter.empty())
+            filter = trace::Filter::parse(trace_filter);
+        tracer = std::make_unique<trace::Tracer>(filter);
+        sys.attachTracer(tracer.get());
+    }
+
+    std::ofstream telemetry_os;
+    std::unique_ptr<TelemetrySampler> sampler;
+    if (!telemetry_out.empty()) {
+        telemetry_os.open(telemetry_out);
+        if (!telemetry_os) {
+            std::cerr << "fbdpsim: cannot open " << telemetry_out
+                      << " for writing\n";
+            return 1;
+        }
+        const Tick epoch = epoch_spec.empty()
+            ? TelemetrySampler::defaultEpoch
+            : TelemetrySampler::parseTimeSpec(epoch_spec);
+        const bool csv = telemetry_out.size() >= 4
+            && telemetry_out.compare(telemetry_out.size() - 4, 4,
+                                     ".csv") == 0;
+        sampler = std::make_unique<TelemetrySampler>(
+            sys, epoch, telemetry_os,
+            csv ? TelemetrySampler::Format::Csv
+                : TelemetrySampler::Format::Jsonl);
+        sampler->start();
+    }
+
     RunResult r = sys.run();
+
+    if (sampler)
+        sampler->finish();
+    if (tracer) {
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::cerr << "fbdpsim: cannot open " << trace_out
+                      << " for writing\n";
+            return 1;
+        }
+        tracer->exportJson(os);
+    }
 
     std::cout << "fbdpsim: " << machine << " / " << mix.name << " / "
               << channels << " logic channels @ " << rate
@@ -188,6 +255,36 @@ main(int argc, char **argv)
     t.addRow({"L2 misses", std::to_string(r.l2Misses)});
     t.addRow({"sw prefetches", std::to_string(r.swPrefetchesSent)});
     t.print(std::cout);
+
+    std::cout << "\n";
+    TextTable lat({"latency percentiles", "samples", "p50 (ns)",
+                   "p95 (ns)", "p99 (ns)"});
+    auto latRow = [&lat](const char *what,
+                         const LatencyClassStats &s) {
+        lat.addRow({what, std::to_string(s.samples), fmtD(s.p50Ns, 1),
+                    fmtD(s.p95Ns, 1), fmtD(s.p99Ns, 1)});
+    };
+    latRow("demand read", r.latDemand);
+    latRow("prefetch-hit read", r.latPrefHit);
+    latRow("write", r.latWrite);
+    lat.print(std::cout);
+    if (cfg.apEnable || cfg.mcPrefetch) {
+        std::cout << "late prefetch hits (fill still in flight): "
+                  << r.latePrefetchHits << "\n";
+    }
+
+    if (sampler) {
+        std::cout << "\ntelemetry: " << sampler->records()
+                  << " epoch records ("
+                  << fmtD(static_cast<double>(sampler->epochTicks())
+                              / 1e3, 1)
+                  << " ns each) -> " << telemetry_out << "\n";
+    }
+    if (tracer) {
+        std::cout << "trace: " << tracer->recorded()
+                  << " events recorded, " << tracer->dropped()
+                  << " dropped -> " << trace_out << "\n";
+    }
 
     if (profile) {
         const KernelProfile &k = r.kernel;

@@ -87,6 +87,13 @@ CacheHierarchy::access(int core, Addr addr, bool store,
         ++nStoreMissReads;
     else
         ++nLoadMissReads;
+    if (trc.tr) {
+        const trace::Kind k = store ? trace::Kind::Write
+                                    : trace::Kind::Read;
+        if (trc.tr->want(k))
+            trc.tr->instant(trc.l2, "miss", eq->now(), k, core, line);
+        traceMshrOccupancy();
+    }
     mem->read(line, core, false,
               [this, line](Tick when) { fillComplete(line, when); });
 
@@ -122,6 +129,13 @@ CacheHierarchy::prefetch(int core, Addr addr)
 
     l2Mshr.allocate(line, true);
     ++nPrefSent;
+    if (trc.tr) {
+        if (trc.tr->want(trace::Kind::Prefetch)) {
+            trc.tr->instant(trc.l2, "sw_prefetch", eq->now(),
+                            trace::Kind::Prefetch, core, line);
+        }
+        traceMshrOccupancy();
+    }
     mem->read(line, core, true,
               [this, line](Tick when) { fillComplete(line, when); });
 }
@@ -134,6 +148,11 @@ CacheHierarchy::fillComplete(Addr line_addr, Tick when)
     l2InstallWithWriteback(line_addr, false, -1);
 
     l2Mshr.complete(line_addr, when, waiterScratch);
+    if (trc.tr) {
+        trc.tr->instant(trc.l2, "fill", when, trace::Kind::None, -1,
+                        line_addr);
+        traceMshrOccupancy();
+    }
     auto &waiters = waiterScratch;
     for (auto &w : waiters) {
         if (w.isPrefetch)
@@ -149,6 +168,17 @@ CacheHierarchy::fillComplete(Addr line_addr, Tick when)
     }
 
     pokeRetries();
+}
+
+void
+CacheHierarchy::bindTracer(trace::Tracer *t)
+{
+    trc = TraceBinding{};
+    if (!t)
+        return;
+    trc.tr = t;
+    trc.l2 = t->track("l2");
+    trc.mshr = t->track("l2.mshr");
 }
 
 void

@@ -25,6 +25,7 @@
 #include "common/callback.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 
 namespace fbdp {
 
@@ -102,6 +103,10 @@ class CacheHierarchy
     /** Functional counterpart of a software prefetch. */
     void functionalPrefetch(int core, Addr addr);
 
+    /** Bind (or unbind with nullptr) the lifecycle tracer: MSHR
+     *  allocations/merges/fills plus an occupancy counter track. */
+    void bindTracer(trace::Tracer *t);
+
     // --- statistics ---
     std::uint64_t l1Hits(int core) const;
     std::uint64_t l1Misses(int core) const;
@@ -118,6 +123,8 @@ class CacheHierarchy
     {
         return l1Pending.at(static_cast<size_t>(core));
     }
+    size_t l2MshrOccupancy() const { return l2Mshr.occupancy(); }
+    unsigned l2MshrCapacity() const { return l2Mshr.capacity(); }
 
     void resetStats();
 
@@ -149,6 +156,22 @@ class CacheHierarchy
     std::uint64_t nPrefDropped = 0;
     std::uint64_t nLoadMissReads = 0;   ///< memory reads from loads
     std::uint64_t nStoreMissReads = 0;  ///< memory reads from stores
+
+    /** Lifecycle-tracer binding (tr == nullptr means disabled). */
+    struct TraceBinding
+    {
+        trace::Tracer *tr = nullptr;
+        std::uint32_t l2 = 0;    ///< miss/fill instants
+        std::uint32_t mshr = 0;  ///< occupancy counter
+    };
+    TraceBinding trc;
+
+    void
+    traceMshrOccupancy()
+    {
+        trc.tr->counter(trc.mshr, "occupancy", eq->now(),
+                        l2Mshr.occupancy());
+    }
 };
 
 } // namespace fbdp

@@ -1,6 +1,9 @@
 #include "common/stats.hh"
 
+#include <cstdio>
 #include <iomanip>
+
+#include "common/logging.hh"
 
 namespace fbdp {
 namespace stats {
@@ -40,6 +43,50 @@ Histogram::sample(double v)
     ++buckets[idx];
 }
 
+double
+Histogram::quantile(double p) const
+{
+    if (!count)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+
+    double target = p * static_cast<double>(count);
+    double cum = static_cast<double>(under);
+    if (target <= cum)
+        return lo;
+
+    double width = (hi - lo) / static_cast<double>(buckets.size());
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        double b = static_cast<double>(buckets[i]);
+        if (cum + b >= target) {
+            double frac = (target - cum) / b;
+            return lo + width * (static_cast<double>(i) + frac);
+        }
+        cum += b;
+    }
+    // Only overflows remain above the target rank.
+    return hi;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    fbdp_assert(lo == other.lo && hi == other.hi &&
+                buckets.size() == other.buckets.size(),
+                "merging histograms with different geometry");
+    for (size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    under += other.under;
+    over += other.over;
+    count += other.count;
+    sum += other.sum;
+}
+
 void
 Histogram::reset()
 {
@@ -55,12 +102,18 @@ Histogram::print(std::ostream &os) const
     os << std::left << std::setw(40) << name() << " mean="
        << mean() << " samples=" << count << " # " << desc() << "\n";
     double width = (hi - lo) / static_cast<double>(buckets.size());
+    std::uint64_t cum = under;
     for (size_t i = 0; i < buckets.size(); ++i) {
         if (!buckets[i])
             continue;
+        cum += buckets[i];
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), "%6.2f%%",
+                      100.0 * static_cast<double>(cum) /
+                          static_cast<double>(count));
         os << "  [" << lo + width * static_cast<double>(i) << ", "
            << lo + width * static_cast<double>(i + 1) << ") "
-           << buckets[i] << "\n";
+           << buckets[i] << " cum=" << pct << "\n";
     }
     if (under)
         os << "  underflows " << under << "\n";
@@ -80,6 +133,16 @@ StatGroup::resetAll()
 {
     for (auto *s : statList)
         s->reset();
+}
+
+Stat *
+StatGroup::find(const std::string &stat_name) const
+{
+    for (auto *s : statList) {
+        if (s->name() == stat_name)
+            return s;
+    }
+    return nullptr;
 }
 
 void

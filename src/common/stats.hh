@@ -110,6 +110,22 @@ class Histogram : public Stat
     }
     std::uint64_t samples() const { return count; }
     double mean() const { return count ? sum / count : 0.0; }
+    double low() const { return lo; }
+    double high() const { return hi; }
+
+    /**
+     * Interpolated p-quantile (p in [0, 1]) of the sampled
+     * distribution.  The target rank is located in the cumulative
+     * bucket counts and the value is interpolated linearly within the
+     * containing bucket, so quantiles move smoothly rather than
+     * jumping from bucket edge to bucket edge.  Underflows resolve to
+     * the low bound and overflows to the high bound; an empty
+     * histogram reports 0.
+     */
+    double quantile(double p) const;
+
+    /** Accumulate @p other's samples (geometries must match). */
+    void merge(const Histogram &other);
 
     void reset() override;
     void print(std::ostream &os) const override;
@@ -159,6 +175,9 @@ class StatGroup
 
     void resetAll();
     void printAll(std::ostream &os) const;
+
+    /** Registered stat with @p stat_name, or nullptr. */
+    Stat *find(const std::string &stat_name) const;
 
     const std::string &name() const { return _name; }
     const std::vector<Stat *> &all() const { return statList; }

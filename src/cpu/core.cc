@@ -184,11 +184,41 @@ Core::pushSelfDone(Tick at, std::uint64_t seq, bool is_load)
         eq->schedule(&selfCompleteEvent, selfDone.front().at);
 }
 
+const char *
+Core::stallName(Stall s)
+{
+    switch (s) {
+      case Stall::Rob:
+        return "stall_rob";
+      case Stall::Lq:
+        return "stall_lq";
+      case Stall::Sq:
+        return "stall_sq";
+      case Stall::Mshr:
+        return "stall_mshr";
+      case Stall::None:
+        break;
+    }
+    return "stall";
+}
+
+void
+Core::bindTracer(trace::Tracer *t)
+{
+    trc = TraceBinding{};
+    if (!t)
+        return;
+    trc.tr = t;
+    trc.track = t->track(_name);
+}
+
 void
 Core::enterStall(Stall why)
 {
     stallReason = why;
     stallSince = eq->now();
+    if (trc.tr)
+        trc.tr->begin(trc.track, stallName(why), stallSince);
 }
 
 void
@@ -212,6 +242,8 @@ Core::wakeFromStall()
       case Stall::None:
         break;
     }
+    if (trc.tr && stallReason != Stall::None)
+        trc.tr->end(trc.track, stallName(stallReason), now);
     stallReason = Stall::None;
     eq->schedule(&advanceEvent, std::max(now, coreTime));
 }

@@ -29,6 +29,7 @@
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 #include "workload/generator.hh"
 
 namespace fbdp {
@@ -83,8 +84,14 @@ class Core
     int id() const { return coreId; }
     const std::string &name() const { return _name; }
 
+    /** Bind (or unbind with nullptr) the lifecycle tracer: stall
+     *  periods become Begin/End durations on a per-core track. */
+    void bindTracer(trace::Tracer *t);
+
   private:
     enum class Stall { None, Rob, Lq, Sq, Mshr };
+
+    static const char *stallName(Stall s);
 
     void advance();
     /** @return false when the core must yield (stall or run-ahead). */
@@ -165,6 +172,14 @@ class Core
     Tick lqStall = 0;
     Tick sqStall = 0;
     Tick mshrStall = 0;
+
+    /** Lifecycle-tracer binding (tr == nullptr means disabled). */
+    struct TraceBinding
+    {
+        trace::Tracer *tr = nullptr;
+        std::uint32_t track = 0;
+    };
+    TraceBinding trc;
 };
 
 } // namespace fbdp

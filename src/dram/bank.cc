@@ -17,6 +17,7 @@ Bank::activate(Tick at, std::uint64_t row)
                 static_cast<unsigned long long>(_actAllowedAt));
     _rowOpen = true;
     _openRow = row;
+    _busyFrom = at;
     _casAllowedAt = at + t->tRCD;
     _preAllowedAt = at + t->tRAS;
     _actAllowedAt = at + t->tRC;
@@ -70,6 +71,7 @@ Bank::precharge(Tick at)
                 static_cast<unsigned long long>(_preAllowedAt));
     _rowOpen = false;
     _actAllowedAt = std::max(_actAllowedAt, at + t->tRP);
+    _busyTicks += (at + t->tRP) - _busyFrom;
 }
 
 void
@@ -85,6 +87,8 @@ Bank::reset()
     _actAllowedAt = 0;
     _casAllowedAt = 0;
     _preAllowedAt = 0;
+    _busyFrom = 0;
+    _busyTicks = 0;
     _rowOpen = false;
     _openRow = 0;
 }

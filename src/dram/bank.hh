@@ -73,6 +73,15 @@ class Bank
      */
     void blockUntil(Tick until);
 
+    /**
+     * Cumulative ticks spent in a row cycle (ACT arrival through
+     * precharge completion).  Monotonic — telemetry samples it as
+     * deltas to derive per-epoch busy fractions, which is also why it
+     * is not cleared by the controller's stat reset.  A row still open
+     * at sampling time is not yet accounted.
+     */
+    Tick busyTicks() const { return _busyTicks; }
+
     /** Reset to the all-banks-precharged power-up state. */
     void reset();
 
@@ -82,6 +91,8 @@ class Bank
     Tick _actAllowedAt = 0;
     Tick _casAllowedAt = 0;
     Tick _preAllowedAt = 0;
+    Tick _busyFrom = 0;
+    Tick _busyTicks = 0;
     bool _rowOpen = false;
     std::uint64_t _openRow = 0;
 };

@@ -102,6 +102,26 @@ class Dimm
     const DramOpCounts &counts() const { return ops; }
     void resetCounts() { ops = DramOpCounts{}; }
 
+    /** Sum of Bank::busyTicks() over the rank (telemetry). */
+    Tick
+    bankBusyTicks() const
+    {
+        Tick sum = 0;
+        for (const Bank &b : banks)
+            sum += b.busyTicks();
+        return sum;
+    }
+
+    /** Banks with a row currently open (power-state telemetry). */
+    unsigned
+    rowsOpen() const
+    {
+        unsigned n = 0;
+        for (const Bank &b : banks)
+            n += b.rowOpen() ? 1 : 0;
+        return n;
+    }
+
   private:
     const DramTiming *t;
     std::vector<Bank> banks;

@@ -44,6 +44,37 @@ MemController::MemController(std::string name, EventQueue *event_queue,
 }
 
 void
+MemController::bindTracer(trace::Tracer *t, unsigned channel)
+{
+    trc = TraceBinding{};
+    if (!t || !t->wantChannel(channel))
+        return;
+    trc.tr = t;
+    const std::string ch = "ch" + std::to_string(channel);
+    trc.txn = t->track(ch + ".txn");
+    trc.south = t->track(ch + ".south");
+    trc.north = t->track(ch + ".north");
+    trc.dimm.resize(cfg.nDimms);
+    trc.bank.resize(cfg.nDimms * cfg.banksPerDimm);
+    for (unsigned d = 0; d < cfg.nDimms; ++d) {
+        const std::string dn = ch + ".dimm" + std::to_string(d);
+        trc.dimm[d] = t->track(dn);
+        for (unsigned b = 0; b < cfg.banksPerDimm; ++b)
+            trc.bank[d * cfg.banksPerDimm + b] =
+                t->track(dn + ".bank" + std::to_string(b));
+    }
+    if (cfg.apEnable) {
+        trc.amb.resize(cfg.nDimms);
+        for (unsigned d = 0; d < cfg.nDimms; ++d)
+            trc.amb[d] = t->track(ch + ".dimm" + std::to_string(d)
+                                  + ".amb");
+    } else if (cfg.mcPrefetch) {
+        trc.amb.resize(1);
+        trc.amb[0] = t->track(ch + ".mcbuf");
+    }
+}
+
+void
 MemController::serviceRefresh(Tick now)
 {
     if (!cfg.refreshEnable)
@@ -79,6 +110,11 @@ MemController::serviceRefresh(Tick now)
             nextRefreshAt[d] += cfg.timing.tREFI;
         }
         refreshPending[d] = false;
+        if (trc.tr) {
+            trc.tr->begin(trc.dimm[d], "refresh", now + cfg.cmdDelay);
+            trc.tr->end(trc.dimm[d], "refresh",
+                        now + cfg.cmdDelay + cfg.timing.tRFC);
+        }
     }
 }
 
@@ -93,7 +129,12 @@ MemController::reserveNorthbound(Tick earliest, unsigned d)
         earliest += cfg.timing.memCycle;
     }
     lastNbDimm = static_cast<int>(d);
-    return northbound.reserve(earliest, cfg.timing.burst);
+    const Tick start = northbound.reserve(earliest, cfg.timing.burst);
+    if (trc.tr) {
+        trc.tr->begin(trc.north, "data", start);
+        trc.tr->end(trc.north, "data", start + cfg.timing.burst);
+    }
+    return start;
 }
 
 Tick
@@ -141,7 +182,12 @@ MemController::push(TransPtr t)
             }
         } else {
             // Writes invalidate any stale prefetched copy.
-            table->invalidate(d, t->lineAddr);
+            if (table->invalidate(d, t->lineAddr) && trc.tr
+                && trc.tr->want(trace::Kind::Write)) {
+                trc.tr->instant(trc.amb[d], "inval", now,
+                                trace::Kind::Write, t->coreId,
+                                t->lineAddr);
+            }
             t->phase = TransPhase::NeedActivate;
         }
     } else if (cfg.mcPrefetch) {
@@ -156,12 +202,20 @@ MemController::push(TransPtr t)
                                    cfg.regionLines, t->lineAddr);
             }
         } else {
-            mcBuf->invalidate(0, t->lineAddr);
+            if (mcBuf->invalidate(0, t->lineAddr) && trc.tr
+                && trc.tr->want(trace::Kind::Write)) {
+                trc.tr->instant(trc.amb[0], "inval", now,
+                                trace::Kind::Write, t->coreId,
+                                t->lineAddr);
+            }
             t->phase = TransPhase::NeedActivate;
         }
     } else {
         t->phase = TransPhase::NeedActivate;
     }
+
+    if (trc.tr)
+        traceTxn("enqueue", now, t.get());
 
     overflow.push_back(std::move(t));
     if (!wakeEvent.scheduled()) {
@@ -303,6 +357,11 @@ void
 MemController::convertHitToMiss(Transaction *t)
 {
     ++nHitConversions;
+    if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
+        // The prefetched line was evicted before its demand arrived.
+        trc.tr->instant(trc.amb[t->coord.dimm], "kill", eq->now(),
+                        trace::Kind::Prefetch, t->coreId, t->lineAddr);
+    }
     t->phase = TransPhase::NeedActivate;
     t->groupLines = cfg.regionLines;
     table->insertGroup(t->coord.dimm, t->coord.regionBase,
@@ -337,8 +396,23 @@ MemController::issueAmbHit(Transaction *t, Tick now)
     const Tick ready = nb_start + cfg.timing.burst + chainDelay(d);
 
     ++nAmbHits;
+    // Timeliness: the prefetch covered this read, but its fill had
+    // not reached the AMB SRAM when the demand command arrived.
+    const bool late = line->readyAt > arrive;
+    if (late)
+        ++nLatePfHits;
     table->countHit();
+    t->ambServed = true;
     t->phase = TransPhase::WaitData;
+    if (trc.tr) {
+        if (trc.tr->want(trace::Kind::Prefetch)) {
+            trc.tr->instant(trc.amb[d], late ? "late_hit" : "hit",
+                            arrive, trace::Kind::Prefetch, t->coreId,
+                            t->lineAddr);
+        }
+        trc.tr->instant(trc.south, "amb_rd", now);
+        traceTxn("amb_hit", arrive, t);
+    }
     finish(t, ready);
     return true;
 }
@@ -350,6 +424,11 @@ MemController::issueMcHit(Transaction *t, Tick now)
     if (!line) {
         // Evicted before service: refetch the region.
         ++nHitConversions;
+        if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
+            trc.tr->instant(trc.amb[0], "kill", now,
+                            trace::Kind::Prefetch, t->coreId,
+                            t->lineAddr);
+        }
         t->phase = TransPhase::NeedActivate;
         t->groupLines = cfg.regionLines;
         mcBuf->insertGroup(0, t->coord.regionBase, cfg.regionLines,
@@ -362,8 +441,20 @@ MemController::issueMcHit(Transaction *t, Tick now)
     // The data is already at the controller: no command, no link.
     const Tick ready = std::max(now, line->readyAt);
     ++nMcHits;
+    const bool late = line->readyAt > now;
+    if (late)
+        ++nLatePfHits;
     mcBuf->countHit();
+    t->ambServed = true;
     t->phase = TransPhase::WaitData;
+    if (trc.tr) {
+        if (trc.tr->want(trace::Kind::Prefetch)) {
+            trc.tr->instant(trc.amb[0], late ? "late_hit" : "hit",
+                            now, trace::Kind::Prefetch, t->coreId,
+                            t->lineAddr);
+        }
+        traceTxn("mc_hit", now, t);
+    }
     finish(t, ready);
     return true;
 }
@@ -377,6 +468,14 @@ MemController::issuePrecharge(Transaction *t, Tick now)
         return false;
     cmdLink.useCmdSlot(now);
     dimm.precharge(t->coord.bank, arrive);
+    if (trc.tr) {
+        trc.tr->instant(trc.south, "pre", now);
+        // The row-cycle duration on the bank track ends when the bank
+        // can accept the next ACT.
+        trc.tr->end(trc.bank[t->coord.dimm * cfg.banksPerDimm
+                             + t->coord.bank],
+                    "row", dimm.bank(t->coord.bank).actAllowedAt());
+    }
     t->phase = TransPhase::NeedActivate;
     return true;
 }
@@ -398,6 +497,13 @@ MemController::issueActivate(Transaction *t, Tick now)
         return false;
     cmdLink.useCmdSlot(now);
     dimm.activate(t->coord.bank, arrive, t->coord.row);
+    if (trc.tr) {
+        trc.tr->instant(trc.south, "act", now);
+        trc.tr->begin(trc.bank[t->coord.dimm * cfg.banksPerDimm
+                               + t->coord.bank],
+                      "row", arrive);
+        traceTxn("act", arrive, t);
+    }
     t->phase = TransPhase::NeedCas;
     return true;
 }
@@ -427,6 +533,18 @@ MemController::issueRead(Transaction *t, Tick now)
     cmdLink.useCmdSlot(now);
     dimm.read(t->coord.bank, arrive, n, auto_pre);
 
+    if (trc.tr) {
+        trc.tr->instant(trc.south, "rd", now);
+        const std::uint32_t bank_trk =
+            trc.bank[d * cfg.banksPerDimm + t->coord.bank];
+        trc.tr->instant(bank_trk, "rd_cas", arrive);
+        if (auto_pre) {
+            trc.tr->end(bank_trk, "row",
+                        dimm.bank(t->coord.bank).actAllowedAt());
+        }
+        traceTxn("cas", arrive, t);
+    }
+
     BusTracker &data_bus = cfg.fbd ? dimmBus[d] : sharedBus;
 
     // Column accesses in demanded-line-first, wrap-around order.
@@ -455,6 +573,12 @@ MemController::issueRead(Transaction *t, Tick now)
                 // AMB prefetching: fills stay behind the AMB and
                 // never touch the channel.
                 table->resolveFill(d, la, d_start + tm.burst);
+                if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
+                    trc.tr->instant(trc.amb[d], "fill",
+                                    d_start + tm.burst,
+                                    trace::Kind::Prefetch, t->coreId,
+                                    la);
+                }
             } else {
                 // Controller-level prefetching: the neighbours must
                 // cross the channel into the MC buffer, consuming
@@ -468,6 +592,11 @@ MemController::issueRead(Transaction *t, Tick now)
                 }
                 nChannelBytes += lineBytes;
                 mcBuf->resolveFill(0, la, ready);
+                if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
+                    trc.tr->instant(trc.amb[0], "fill", ready,
+                                    trace::Kind::Prefetch, t->coreId,
+                                    la);
+                }
             }
         }
     }
@@ -500,9 +629,26 @@ MemController::issueWrite(Transaction *t, Tick now)
             + static_cast<Tick>(n_frames) * tm.memCycle + cfg.cmdDelay;
         if (data_at_amb > tm.tWL)
             wr_cas = std::max(arrive, data_at_amb - tm.tWL);
+        if (trc.tr) {
+            trc.tr->begin(trc.south, "wdata", f_start);
+            trc.tr->end(trc.south, "wdata",
+                        f_start
+                        + static_cast<Tick>(n_frames) * tm.memCycle);
+        }
     }
 
     const Tick end = dimm.write(t->coord.bank, wr_cas, auto_pre);
+    if (trc.tr) {
+        trc.tr->instant(trc.south, "wr", now);
+        const std::uint32_t bank_trk =
+            trc.bank[d * cfg.banksPerDimm + t->coord.bank];
+        trc.tr->instant(bank_trk, "wr_cas", wr_cas);
+        if (auto_pre) {
+            trc.tr->end(bank_trk, "row",
+                        dimm.bank(t->coord.bank).actAllowedAt());
+        }
+        traceTxn("cas", wr_cas, t);
+    }
     BusTracker &data_bus = cfg.fbd ? dimmBus[d] : sharedBus;
     data_bus.reserve(wr_cas + tm.tWL, tm.burst);
     if (!cfg.fbd)
@@ -518,6 +664,8 @@ MemController::finish(Transaction *t, Tick ready)
 {
     t->completedAt = ready;
     nChannelBytes += lineBytes;
+    if (trc.tr)
+        traceTxn("complete", ready, t);
 
     // Move ownership from the window into the completion heap.  The
     // ordered erase (a memmove over at most queueSize pointers) keeps
@@ -559,12 +707,17 @@ MemController::completionFire()
     const Tick now = eq->now();
     TransPtr t;
     while (popCompletionDue(now, t)) {
+        const double lat_ns =
+            ticksToNs(t->completedAt - t->arrivedAtMc);
         if (t->isRead()) {
             ++nReadsDone;
             readLatTotal +=
                 static_cast<double>(t->completedAt - t->arrivedAtMc);
-            latHist.sample(
-                ticksToNs(t->completedAt - t->arrivedAtMc));
+            latHist.sample(lat_ns);
+            (t->ambServed ? latHistPrefHit : latHistDemand)
+                .sample(lat_ns);
+        } else {
+            latHistWrite.sample(lat_ns);
         }
         if (t->onComplete)
             t->onComplete(t->completedAt);
@@ -620,8 +773,12 @@ MemController::resetStats()
     nChannelBytes = 0;
     nMcHits = 0;
     nHitConversions = 0;
+    nLatePfHits = 0;
     readLatTotal = 0.0;
     latHist.reset();
+    latHistDemand.reset();
+    latHistPrefHit.reset();
+    latHistWrite.reset();
     for (auto &d : dimms)
         d.resetCounts();
     if (table)

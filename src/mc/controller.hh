@@ -40,6 +40,7 @@
 #include "mc/transaction.hh"
 #include "prefetch/prefetch_table.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 
 namespace fbdp {
 
@@ -92,6 +93,14 @@ class MemController
     /** Hand a transaction to the controller at the current tick. */
     void push(TransPtr t);
 
+    /**
+     * Bind (or unbind with nullptr) the lifecycle tracer.  @p channel
+     * is this controller's logic-channel index; a tracer whose filter
+     * excludes the channel binds as nullptr, so filtered-out channels
+     * pay nothing.  Interns one track per link, bank and AMB cache.
+     */
+    void bindTracer(trace::Tracer *t, unsigned channel);
+
     /** Total requests currently inside the controller. */
     size_t occupancy() const
     {
@@ -113,6 +122,66 @@ class MemController
 
     /** Latency percentile in ns (e.g. 0.95) from the histogram. */
     double readLatencyPercentileNs(double p) const;
+
+    /** Demand reads that missed every prefetch buffer. */
+    const stats::Histogram &demandLatencyHist() const
+    {
+        return latHistDemand;
+    }
+    /** Reads served from the AMB cache / MC prefetch buffer. */
+    const stats::Histogram &prefHitLatencyHist() const
+    {
+        return latHistPrefHit;
+    }
+    /** Write (posted) completion latency. */
+    const stats::Histogram &writeLatencyHist() const
+    {
+        return latHistWrite;
+    }
+
+    /** AMB/MC hits whose fill had not completed when demanded (the
+     *  prefetch arrived, but late — DSPatch-style timeliness). */
+    std::uint64_t latePrefetchHits() const { return nLatePfHits; }
+
+    // --- telemetry gauges (cumulative; samplers take deltas) ---
+    /** Requests queued in the controller (window + overflow). */
+    size_t queueDepth() const
+    {
+        return window.size() + overflow.size();
+    }
+    /** Commands ever sent on the southbound/command link. */
+    std::uint64_t southCommands() const
+    {
+        return cmdLink.commandsSent();
+    }
+    /** Southbound frames that carried write data. */
+    std::uint64_t southDataFrames() const
+    {
+        return cmdLink.framesWithData();
+    }
+    /** Busy ticks on the northbound (or shared DDR2 data) link. */
+    Tick northBusyTicks() const
+    {
+        return cfg.fbd ? northbound.busyTicks() : sharedBus.busyTicks();
+    }
+    /** Sum of Bank::busyTicks() over the whole channel. */
+    Tick
+    bankBusyTicks() const
+    {
+        Tick sum = 0;
+        for (const Dimm &d : dimms)
+            sum += d.bankBusyTicks();
+        return sum;
+    }
+    /** Banks currently holding an open row. */
+    unsigned
+    rowsOpen() const
+    {
+        unsigned n = 0;
+        for (const Dimm &d : dimms)
+            n += d.rowsOpen();
+        return n;
+    }
 
     /** Aggregate DRAM operation counts across the channel's DIMMs. */
     DramOpCounts dramOps() const;
@@ -255,9 +324,51 @@ class MemController
     std::uint64_t nMcHits = 0;
     std::uint64_t nChannelBytes = 0;
     std::uint64_t nHitConversions = 0;
+    std::uint64_t nLatePfHits = 0;
     double readLatTotal = 0.0;  ///< in ticks
     stats::Histogram latHist{"read_latency", "read latency (ns)",
                              0.0, 1000.0, 500};
+    // Same geometry as latHist so quantiles are comparable and
+    // System::collect can merge them across controllers.
+    stats::Histogram latHistDemand{
+        "read_latency_demand", "demand-miss read latency (ns)",
+        0.0, 1000.0, 500};
+    stats::Histogram latHistPrefHit{
+        "read_latency_pref_hit", "prefetch-hit read latency (ns)",
+        0.0, 1000.0, 500};
+    stats::Histogram latHistWrite{
+        "write_latency", "write completion latency (ns)",
+        0.0, 1000.0, 500};
+
+    /** Lifecycle-tracer binding; tr == nullptr means disabled, so a
+     *  trace point costs one branch on this cached pointer. */
+    struct TraceBinding
+    {
+        trace::Tracer *tr = nullptr;
+        std::uint32_t txn = 0;    ///< lifecycle instants
+        std::uint32_t south = 0;  ///< command/write-data link
+        std::uint32_t north = 0;  ///< read-return link
+        std::vector<std::uint32_t> bank;  ///< [dimm * banks + bank]
+        std::vector<std::uint32_t> amb;   ///< per DIMM (AP only)
+        std::vector<std::uint32_t> dimm;  ///< per DIMM (refresh)
+    };
+    TraceBinding trc;
+
+    trace::Kind traceKind(const Transaction *t) const
+    {
+        if (t->swPrefetch)
+            return trace::Kind::Prefetch;
+        return t->isRead() ? trace::Kind::Read : trace::Kind::Write;
+    }
+    /** Lifecycle instant on the txn track, kind-filtered. */
+    void
+    traceTxn(const char *name, Tick ts, const Transaction *t)
+    {
+        const trace::Kind k = traceKind(t);
+        if (trc.tr->want(k))
+            trc.tr->instant(trc.txn, name, ts, k, t->coreId,
+                            t->lineAddr);
+    }
 };
 
 } // namespace fbdp

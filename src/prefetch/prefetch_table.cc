@@ -47,11 +47,13 @@ PrefetchTable::resolveFill(unsigned dimm_idx, Addr line_addr,
     // An already evicted line simply loses its fill; harmless.
 }
 
-void
+bool
 PrefetchTable::invalidate(unsigned dimm_idx, Addr line_addr)
 {
-    if (caches.at(dimm_idx).invalidate(line_addr))
-        ++nWriteInval;
+    if (!caches.at(dimm_idx).invalidate(line_addr))
+        return false;
+    ++nWriteInval;
+    return true;
 }
 
 void

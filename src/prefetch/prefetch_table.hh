@@ -63,8 +63,9 @@ class PrefetchTable
     /** Set the SRAM arrival time of one previously inserted line. */
     void resolveFill(unsigned dimm_idx, Addr line_addr, Tick ready_at);
 
-    /** A write to @p line_addr invalidates any stale prefetch. */
-    void invalidate(unsigned dimm_idx, Addr line_addr);
+    /** A write to @p line_addr invalidates any stale prefetch.
+     *  @return true iff a resident line was dropped. */
+    bool invalidate(unsigned dimm_idx, Addr line_addr);
 
     /** Count one demand read (the coverage denominator). */
     void countRead() { ++nReads; }
@@ -74,6 +75,26 @@ class PrefetchTable
 
     std::uint64_t reads() const { return nReads; }
     std::uint64_t prefetchHits() const { return nHits; }
+
+    /** Valid lines across every AMB cache (occupancy telemetry). */
+    unsigned
+    population() const
+    {
+        unsigned n = 0;
+        for (const AmbCache &c : caches)
+            n += c.population();
+        return n;
+    }
+
+    /** Total line capacity across every AMB cache. */
+    unsigned
+    capacity() const
+    {
+        unsigned n = 0;
+        for (const AmbCache &c : caches)
+            n += c.entries();
+        return n;
+    }
     std::uint64_t prefetchesIssued() const { return nPrefetches; }
     std::uint64_t writeInvalidations() const { return nWriteInval; }
 

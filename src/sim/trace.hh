@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Transaction-lifecycle tracing: an always-compiled, zero-overhead-
+ * when-disabled observability layer for the event kernel.
+ *
+ * Components cache a Tracer pointer at bind time (nullptr when tracing
+ * is off), so every trace point on a hot path costs exactly one branch
+ * on a cached flag when disabled.  When enabled, trace points append
+ * fixed-size Records to a per-system ring buffer — no allocation, no
+ * formatting, no I/O during simulation.  At the end of a run the buffer
+ * is exported as Chrome `trace_event` JSON (the format Perfetto and
+ * chrome://tracing load), with one track ("thread") per modelled
+ * resource: southbound/northbound links, DRAM banks, AMB caches, the
+ * L2 MSHR file and the cores.
+ *
+ * Event names are required to be string literals (the Record stores the
+ * pointer, not a copy); track names are interned once at bind time.
+ */
+
+#ifndef FBDP_SIM_TRACE_HH
+#define FBDP_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fbdp {
+namespace trace {
+
+/** Transaction kind, the unit of --trace-filter kind selection. */
+enum class Kind : std::uint8_t {
+    None = 0,  ///< not a transaction-classified event
+    Read,      ///< demand read
+    Write,     ///< write / writeback
+    Prefetch,  ///< software prefetch or AMB/MC prefetch activity
+};
+
+/** Pretty name for a kind ("read", "write", "prefetch"). */
+const char *kindName(Kind k);
+
+/**
+ * Record selection.  Channel filtering is applied at bind time (a
+ * controller on a filtered-out channel simply never binds); kind
+ * filtering is applied per record for transaction-classified events.
+ * Resource-occupancy events (bank rows, link transfers) are not
+ * kind-classified and always recorded on bound tracks.
+ */
+struct Filter
+{
+    int channel = -1;       ///< -1 = every channel
+    bool reads = true;
+    bool writes = true;
+    bool prefetches = true;
+
+    bool
+    wantChannel(unsigned ch) const
+    {
+        return channel < 0 || static_cast<unsigned>(channel) == ch;
+    }
+
+    bool
+    want(Kind k) const
+    {
+        switch (k) {
+          case Kind::Read:
+            return reads;
+          case Kind::Write:
+            return writes;
+          case Kind::Prefetch:
+            return prefetches;
+          case Kind::None:
+            return true;
+        }
+        return true;
+    }
+
+    /**
+     * Parse a `--trace-filter` spec: comma-separated `chan=N` and
+     * `kind=a|b` terms, e.g. "chan=0,kind=read|prefetch".  An empty
+     * spec selects everything; unknown terms are fatal().
+     */
+    static Filter parse(const std::string &spec);
+};
+
+/** Chrome trace_event phase of one record. */
+enum class Ph : std::uint8_t {
+    Begin,    ///< "B" — a duration opens on the track
+    End,      ///< "E" — the innermost open duration closes
+    Instant,  ///< "i" — a point event
+    Counter,  ///< "C" — a sampled counter value
+};
+
+/** Sentinel for "no address attached". */
+constexpr Addr noAddr = ~static_cast<Addr>(0);
+
+/** One fixed-size trace record (name must be a string literal). */
+struct Record
+{
+    Tick ts = 0;
+    const char *name = nullptr;
+    std::uint64_t value = 0;  ///< Counter payload
+    Addr addr = noAddr;
+    std::uint32_t track = 0;
+    std::int32_t core = -1;
+    Ph ph = Ph::Instant;
+    Kind kind = Kind::None;
+};
+
+/**
+ * The per-system trace sink: interned tracks plus a bounded ring of
+ * Records.  When the ring wraps, the oldest records are overwritten
+ * and counted as dropped; exportJson() repairs any Begin/End pairs the
+ * overwrite orphaned, so the output is always structurally valid.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(Filter f = Filter{},
+                    std::size_t capacity = 1u << 20);
+
+    const Filter &filter() const { return filt; }
+    bool wantChannel(unsigned ch) const
+    {
+        return filt.wantChannel(ch);
+    }
+    bool want(Kind k) const { return filt.want(k); }
+
+    /** Intern a track by name (bind-time only; not a hot path). */
+    std::uint32_t track(const std::string &name);
+
+    unsigned numTracks() const
+    {
+        return static_cast<unsigned>(trackNames.size());
+    }
+    const std::string &trackName(std::uint32_t t) const
+    {
+        return trackNames.at(t);
+    }
+
+    // --- recording (hot path; callers hold a cached Tracer*) ---
+    void
+    begin(std::uint32_t trk, const char *name, Tick ts)
+    {
+        Record r;
+        r.ts = ts;
+        r.name = name;
+        r.track = trk;
+        r.ph = Ph::Begin;
+        push(r);
+    }
+
+    void
+    end(std::uint32_t trk, const char *name, Tick ts)
+    {
+        Record r;
+        r.ts = ts;
+        r.name = name;
+        r.track = trk;
+        r.ph = Ph::End;
+        push(r);
+    }
+
+    void
+    instant(std::uint32_t trk, const char *name, Tick ts,
+            Kind kind = Kind::None, int core = -1, Addr addr = noAddr)
+    {
+        Record r;
+        r.ts = ts;
+        r.name = name;
+        r.track = trk;
+        r.ph = Ph::Instant;
+        r.kind = kind;
+        r.core = core;
+        r.addr = addr;
+        push(r);
+    }
+
+    void
+    counter(std::uint32_t trk, const char *name, Tick ts,
+            std::uint64_t value)
+    {
+        Record r;
+        r.ts = ts;
+        r.name = name;
+        r.track = trk;
+        r.ph = Ph::Counter;
+        r.value = value;
+        push(r);
+    }
+
+    // --- inspection ---
+    /** Records currently held (<= capacity). */
+    std::size_t size() const { return ring.size(); }
+    /** Records ever pushed. */
+    std::uint64_t recorded() const { return nRecorded; }
+    /** Records lost to ring wrap-around. */
+    std::uint64_t dropped() const { return nDropped; }
+
+    /** Records in chronological (push) order, oldest first. */
+    std::vector<Record> chronological() const;
+
+    void clear();
+
+    /**
+     * Export the buffer as a Chrome trace_event JSON document: one
+     * metadata block naming every track, then the records sorted by
+     * timestamp (stable, so same-tick records keep push order).
+     * Unmatched Begin records are closed at the final timestamp and
+     * orphaned End records (ring wrap) are skipped, keeping the B/E
+     * nesting valid for any buffer state.
+     */
+    void exportJson(std::ostream &os) const;
+
+  private:
+    void
+    push(const Record &r)
+    {
+        ++nRecorded;
+        if (ring.size() < cap) {
+            ring.push_back(r);
+        } else {
+            ring[head] = r;
+            if (++head == cap)
+                head = 0;
+            ++nDropped;
+        }
+    }
+
+    Filter filt;
+    std::size_t cap;
+    std::size_t head = 0;  ///< oldest record once the ring has wrapped
+    std::vector<Record> ring;
+    std::vector<std::string> trackNames;
+    std::uint64_t nRecorded = 0;
+    std::uint64_t nDropped = 0;
+};
+
+} // namespace trace
+} // namespace fbdp
+
+#endif // FBDP_SIM_TRACE_HH

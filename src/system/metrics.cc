@@ -92,10 +92,21 @@ jsonEscape(const std::string &s)
           case '\r':
             out += "\\r";
             break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
           default:
             if (static_cast<unsigned char>(ch) < 0x20) {
+                // Remaining control characters have no short escape;
+                // the unsigned-char cast keeps the value in 00..1f
+                // even where plain char is signed.
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
                 out += buf;
             } else {
                 out += ch;

@@ -277,6 +277,78 @@ ResultSchema::kernelStats()
     return schema;
 }
 
+const ResultSchema &
+ResultSchema::latencyPercentiles()
+{
+    static const ResultSchema schema = [] {
+        ResultSchema s;
+        s.add(Column{"config", "", "machine configuration name",
+                     ColumnKind::Text, [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.config);
+                     }});
+        s.add(Column{"mix", "", "workload mix name", ColumnKind::Text,
+                     [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.mix);
+                     }});
+        s.add(Column{"seed", "", "RNG seed of this repeat",
+                     ColumnKind::Count, [](const SweepRow &r) {
+                         return ColumnValue::ofCount(r.seed);
+                     }});
+
+        struct Class
+        {
+            const char *key;
+            const char *what;
+            LatencyClassStats RunResult::*stats;
+        };
+        static const Class classes[] = {
+            {"demand", "demand reads that missed every buffer",
+             &RunResult::latDemand},
+            {"pref_hit", "reads served by the AMB/MC buffer",
+             &RunResult::latPrefHit},
+            {"write", "posted-write completions",
+             &RunResult::latWrite},
+        };
+        for (const Class &c : classes) {
+            const auto m = c.stats;
+            s.add(Column{std::string(c.key) + "_samples", "ops",
+                         std::string(c.what) + ": sample count",
+                         ColumnKind::Count, [m](const SweepRow &r) {
+                             return ColumnValue::ofCount(
+                                 (r.result.*m).samples);
+                         }});
+            struct Pct
+            {
+                const char *suffix;
+                double LatencyClassStats::*val;
+            };
+            static const Pct pcts[] = {
+                {"_p50_ns", &LatencyClassStats::p50Ns},
+                {"_p95_ns", &LatencyClassStats::p95Ns},
+                {"_p99_ns", &LatencyClassStats::p99Ns},
+            };
+            for (const Pct &p : pcts) {
+                const auto v = p.val;
+                s.add(Column{std::string(c.key) + p.suffix, "ns",
+                             std::string(c.what) + ": latency "
+                                 + (p.suffix + 1),
+                             ColumnKind::Real, [m, v](const SweepRow &r) {
+                                 return ColumnValue::ofReal(
+                                     (r.result.*m).*v);
+                             }});
+            }
+        }
+        s.add(Column{"late_prefetch_hits", "ops",
+                     "prefetch hits whose fill was still in flight",
+                     ColumnKind::Count, [](const SweepRow &r) {
+                         return ColumnValue::ofCount(
+                             r.result.latePrefetchHits);
+                     }});
+        return s;
+    }();
+    return schema;
+}
+
 std::string
 ResultSchema::csvHeader() const
 {

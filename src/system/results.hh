@@ -98,6 +98,14 @@ class ResultSchema
      */
     static const ResultSchema &kernelStats();
 
+    /**
+     * Per-request-class latency percentiles (demand-miss reads,
+     * prefetch-hit reads, writes) plus the late-prefetch counter.
+     * A separate table for the same reason as kernelStats():
+     * sweepRows() is a byte-for-byte compatibility surface.
+     */
+    static const ResultSchema &latencyPercentiles();
+
     /** Comma-joined column names. */
     std::string csvHeader() const;
 

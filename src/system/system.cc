@@ -106,6 +106,16 @@ System::System(const SystemConfig &config)
 System::~System() = default;
 
 void
+System::attachTracer(trace::Tracer *t)
+{
+    for (unsigned ch = 0; ch < controllers.size(); ++ch)
+        controllers[ch]->bindTracer(t, ch);
+    hier->bindTracer(t);
+    for (auto &c : cores)
+        c->bindTracer(t);
+}
+
+void
 System::resetAllStats()
 {
     for (auto &c : cores)
@@ -266,6 +276,10 @@ System::report(std::ostream &os) const
         Formula hits("amb_hits", "reads served by the AMB cache",
                      [&mc] { return static_cast<double>(
                                  mc.ambHits()); });
+        Formula late("late_prefetch_hits",
+                     "prefetch hits with the fill still in flight",
+                     [&mc] { return static_cast<double>(
+                                 mc.latePrefetchHits()); });
         Formula cov("coverage", "#prefetch_hit / #read", [&mc] {
             const PrefetchTable *t = mc.prefetchTable();
             return t ? t->coverage() : 0.0;
@@ -276,7 +290,7 @@ System::report(std::ostream &os) const
         });
         for (stats::Stat *s : std::initializer_list<stats::Stat *>{
                  &rd, &wr, &lat, &p95, &p99, &act, &cas, &ref,
-                 &hits, &cov, &eff})
+                 &hits, &late, &cov, &eff})
             g.registerStat(s);
         g.printAll(os);
     }
@@ -330,6 +344,31 @@ System::collect(Tick window_ticks) const
     if (pf_issued)
         r.efficiency = static_cast<double>(pf_hits)
             / static_cast<double>(pf_issued);
+
+    // Per-class latency percentiles: merge the controllers' equal-
+    // geometry histograms, then interpolate quantiles on the union.
+    {
+        stats::Histogram demand{"d", "", 0.0, 1000.0, 500};
+        stats::Histogram pref{"p", "", 0.0, 1000.0, 500};
+        stats::Histogram wr{"w", "", 0.0, 1000.0, 500};
+        for (const auto &mc : controllers) {
+            demand.merge(mc->demandLatencyHist());
+            pref.merge(mc->prefHitLatencyHist());
+            wr.merge(mc->writeLatencyHist());
+            r.latePrefetchHits += mc->latePrefetchHits();
+        }
+        auto fill = [](const stats::Histogram &h) {
+            LatencyClassStats s;
+            s.p50Ns = h.quantile(0.50);
+            s.p95Ns = h.quantile(0.95);
+            s.p99Ns = h.quantile(0.99);
+            s.samples = h.samples();
+            return s;
+        };
+        r.latDemand = fill(demand);
+        r.latPrefHit = fill(pref);
+        r.latWrite = fill(wr);
+    }
 
     r.l2Misses = hier->l2Misses();
     r.l2Hits = hier->l2Hits();

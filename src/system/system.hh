@@ -56,6 +56,15 @@ struct KernelProfile
     }
 };
 
+/** Latency percentiles of one request class (Fig. 8-style shape). */
+struct LatencyClassStats
+{
+    double p50Ns = 0.0;
+    double p95Ns = 0.0;
+    double p99Ns = 0.0;
+    std::uint64_t samples = 0;
+};
+
 /** Measured outcome of one simulation. */
 struct RunResult
 {
@@ -76,6 +85,13 @@ struct RunResult
     std::uint64_t l2Misses = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t swPrefetchesSent = 0;
+
+    /** Per-request-class latency percentiles, merged over channels. */
+    LatencyClassStats latDemand;    ///< reads missing every buffer
+    LatencyClassStats latPrefHit;   ///< reads served by AMB/MC buffer
+    LatencyClassStats latWrite;     ///< posted-write completions
+    /** Prefetch hits whose fill was still in flight when demanded. */
+    std::uint64_t latePrefetchHits = 0;
 
     /** Simulated instructions over the whole run (warm-up included),
      *  all cores — the numerator of the sim-rate metric. */
@@ -124,6 +140,14 @@ class System
 
     /** Run warm-up then the measured window; return the results. */
     RunResult run();
+
+    /**
+     * Attach (or detach with nullptr) a lifecycle tracer, binding
+     * every controller (with its channel index for channel filtering),
+     * the cache hierarchy and every core.  Call before run(); tracing
+     * must not — and does not — change simulation results.
+     */
+    void attachTracer(trace::Tracer *t);
 
     /**
      * Hierarchical statistics report of the last run: per-core,

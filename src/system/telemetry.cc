@@ -1,0 +1,280 @@
+#include "system/telemetry.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+
+TelemetrySampler::TelemetrySampler(System &system, Tick epoch_ticks,
+                                   std::ostream &os, Format format)
+    : sys(system),
+      eq(system.eventQueue()),
+      epoch(epoch_ticks),
+      out(os),
+      fmt(format),
+      // Fire after every same-tick completion and CPU advance so a
+      // record reflects the boundary's settled state.
+      sampleEvent([this] { fire(); }, Event::prioCpu + 5)
+{
+    fbdp_assert(epoch > 0, "telemetry epoch must be positive");
+
+    const unsigned nCh = sys.numControllers();
+    chPrev.resize(nCh);
+    chCur.resize(nCh);
+    coreScr.resize(sys.config().nCores());
+
+    const double epochD = static_cast<double>(epoch);
+
+    for (unsigned c = 0; c < nCh; ++c) {
+        const MemController &mc = sys.controller(c);
+        const ControllerConfig &mcc = mc.config();
+        const std::string pfx = csprintf("ch%u.", c);
+        const ChannelCur *cur = &chCur[c];
+
+        // The southbound link carries three command slots per frame
+        // (one command per cycle on the DDR2 command bus); a frame
+        // with a write payload carries exactly one command, so the
+        // utilisation estimate charges a data frame one full frame
+        // and each command a slot's worth.
+        const double slots = mcc.fbd ? 3.0 : 1.0;
+        const double frame = static_cast<double>(mcc.timing.memCycle);
+        const double nBanks =
+            static_cast<double>(mcc.nDimms * mcc.banksPerDimm);
+
+        addGauge(pfx + "south_cmds", "commands sent on the south link",
+                 [cur] { return cur->southCmds; });
+        addGauge(pfx + "south_util",
+                 "southbound/command link utilisation (approx)",
+                 [cur, slots, frame, epochD] {
+                     return (cur->southCmds / slots
+                             + cur->southDataFrames) * frame / epochD;
+                 });
+        addGauge(pfx + "north_util",
+                 "northbound/data link busy fraction",
+                 [cur, epochD] { return cur->northBusy / epochD; });
+        addGauge(pfx + "queue_depth", "requests queued right now",
+                 [&mc] {
+                     return static_cast<double>(mc.queueDepth());
+                 });
+        addGauge(pfx + "amb_hit_rate",
+                 "fraction of this epoch's reads served by a "
+                 "prefetch buffer",
+                 [cur] {
+                     return cur->reads > 0.0 ? cur->hits / cur->reads
+                                             : 0.0;
+                 });
+        addGauge(pfx + "amb_occupancy",
+                 "prefetch-buffer fill fraction right now",
+                 [&mc] {
+                     const PrefetchTable *t = mc.prefetchTable()
+                         ? mc.prefetchTable() : mc.mcBuffer();
+                     if (!t || t->capacity() == 0)
+                         return 0.0;
+                     return static_cast<double>(t->population())
+                         / static_cast<double>(t->capacity());
+                 });
+        addGauge(pfx + "late_pf_hits",
+                 "prefetch hits still in flight when demanded",
+                 [cur] { return cur->latePf; });
+        addGauge(pfx + "bank_busy",
+                 "mean bank busy fraction (ACT..PRE closed this epoch)",
+                 [cur, nBanks, epochD] {
+                     return cur->bankBusy / (nBanks * epochD);
+                 });
+        addGauge(pfx + "rows_open", "banks holding an open row",
+                 [&mc] { return static_cast<double>(mc.rowsOpen()); });
+    }
+
+    addGauge("l2.mshr_occupancy", "L2 MSHRs in use right now", [this] {
+        return static_cast<double>(sys.hierarchy().l2MshrOccupancy());
+    });
+    addGauge("prefetch.coverage",
+             "cumulative #prefetch_hit / #read, all channels", [this] {
+                 std::uint64_t hits = 0, reads = 0;
+                 for (unsigned c = 0; c < sys.numControllers(); ++c) {
+                     const MemController &mc = sys.controller(c);
+                     const PrefetchTable *t = mc.prefetchTable()
+                         ? mc.prefetchTable() : mc.mcBuffer();
+                     if (!t)
+                         continue;
+                     hits += t->prefetchHits();
+                     reads += t->reads();
+                 }
+                 return reads
+                     ? static_cast<double>(hits)
+                         / static_cast<double>(reads)
+                     : 0.0;
+             });
+
+    for (size_t i = 0; i < coreScr.size(); ++i) {
+        const CoreScratch *scr = &coreScr[i];
+        const std::string pfx = csprintf("cpu%zu.", i);
+        addGauge(pfx + "insts", "instructions retired this epoch",
+                 [scr] { return scr->dInsts; });
+        // All cores run at the global CPU clock (Table 1), so the
+        // epoch's cycle count is epoch / cpuCyclePs.
+        addGauge(pfx + "ipc", "IPC over this epoch",
+                 [scr, epochD] {
+                     return scr->dInsts
+                         * static_cast<double>(cpuCyclePs) / epochD;
+                 });
+    }
+}
+
+TelemetrySampler::~TelemetrySampler()
+{
+    if (sampleEvent.scheduled())
+        eq.deschedule(&sampleEvent);
+}
+
+void
+TelemetrySampler::addGauge(const std::string &gauge_name,
+                           const std::string &gauge_desc,
+                           std::function<double()> fn)
+{
+    formulas.push_back(std::make_unique<stats::Formula>(
+        gauge_name, gauge_desc, std::move(fn)));
+    group.registerStat(formulas.back().get());
+}
+
+void
+TelemetrySampler::start()
+{
+    nextAt = (eq.now() / epoch + 1) * epoch;
+    eq.schedule(&sampleEvent, nextAt);
+}
+
+void
+TelemetrySampler::fire()
+{
+    takeSample(nextAt);
+    nextAt += epoch;
+    eq.schedule(&sampleEvent, nextAt);
+}
+
+void
+TelemetrySampler::finish()
+{
+    if (sampleEvent.scheduled())
+        eq.deschedule(&sampleEvent);
+    // The run can stop between a boundary and its event dispatch (the
+    // event loop exits the moment the instruction target is hit);
+    // catch up so records() == floor(simTime / epoch) always holds.
+    while (nextAt != 0 && nextAt <= eq.now()) {
+        takeSample(nextAt);
+        nextAt += epoch;
+    }
+    nextAt = 0;
+}
+
+namespace {
+
+/**
+ * Delta of a cumulative counter that may have been zeroed by a
+ * mid-run resetStats(): a reading below the baseline restarts the
+ * accumulation from zero instead of going negative.
+ */
+template <typename T>
+double
+guardedDelta(T cur, T &prev)
+{
+    const double d = cur >= prev
+        ? static_cast<double>(cur - prev)
+        : static_cast<double>(cur);
+    prev = cur;
+    return d;
+}
+
+} // namespace
+
+void
+TelemetrySampler::takeSample(Tick at)
+{
+    for (unsigned c = 0; c < sys.numControllers(); ++c) {
+        const MemController &mc = sys.controller(c);
+        ChannelPrev &p = chPrev[c];
+        ChannelCur &cur = chCur[c];
+        cur.southCmds = guardedDelta(mc.southCommands(), p.southCmds);
+        cur.southDataFrames =
+            guardedDelta(mc.southDataFrames(), p.southDataFrames);
+        cur.northBusy = guardedDelta(mc.northBusyTicks(), p.northBusy);
+        cur.bankBusy = guardedDelta(mc.bankBusyTicks(), p.bankBusy);
+        cur.hits = guardedDelta(mc.ambHits() + mc.mcHits(), p.hits);
+        cur.reads = guardedDelta(mc.reads(), p.reads);
+        cur.latePf = guardedDelta(mc.latePrefetchHits(), p.latePf);
+    }
+    for (size_t i = 0; i < coreScr.size(); ++i)
+        coreScr[i].dInsts =
+            guardedDelta(sys.core(static_cast<unsigned>(i)).insts(),
+                         coreScr[i].prevInsts);
+
+    const double tNs =
+        static_cast<double>(at) / static_cast<double>(ticksPerNs);
+
+    if (fmt == Format::Csv) {
+        if (!headerDone) {
+            out << "epoch,t_ns";
+            for (const stats::Stat *s : group.all())
+                out << ',' << s->name();
+            out << '\n';
+            headerDone = true;
+        }
+        out << nRecords + 1 << ',' << csprintf("%.9g", tNs);
+        for (const stats::Stat *s : group.all()) {
+            const auto *f = static_cast<const stats::Formula *>(s);
+            out << ',' << csprintf("%.9g", f->value());
+        }
+        out << '\n';
+    } else {
+        out << csprintf("{\"epoch\": %llu, \"t_ns\": %.9g",
+                        static_cast<unsigned long long>(nRecords + 1),
+                        tNs);
+        for (const stats::Stat *s : group.all()) {
+            const auto *f = static_cast<const stats::Formula *>(s);
+            out << csprintf(", \"%s\": %.9g", s->name().c_str(),
+                            f->value());
+        }
+        out << "}\n";
+    }
+    ++nRecords;
+}
+
+double
+TelemetrySampler::gauge(const std::string &name) const
+{
+    const stats::Stat *s = group.find(name);
+    if (!s)
+        return 0.0;
+    // The group holds nothing but Formulas (see addGauge).
+    return static_cast<const stats::Formula *>(s)->value();
+}
+
+Tick
+TelemetrySampler::parseTimeSpec(const std::string &spec)
+{
+    const char *str = spec.c_str();
+    char *end = nullptr;
+    const double v = std::strtod(str, &end);
+    if (end == str)
+        fatal("bad time spec '%s': expected <number><ns|us|ms>", str);
+    const std::string unit(end);
+    double ns = 0.0;
+    if (unit == "ns")
+        ns = v;
+    else if (unit == "us")
+        ns = v * 1e3;
+    else if (unit == "ms")
+        ns = v * 1e6;
+    else
+        fatal("bad time spec '%s': unit must be ns, us or ms", str);
+    if (ns <= 0.0)
+        fatal("bad time spec '%s': duration must be positive", str);
+    const Tick t = nsToTicks(ns);
+    if (t == 0)
+        fatal("bad time spec '%s': rounds to zero ticks", str);
+    return t;
+}
+
+} // namespace fbdp

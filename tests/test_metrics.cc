@@ -68,5 +68,44 @@ TEST(MetricsTest, RowCount)
     EXPECT_EQ(t.rows(), 2u);
 }
 
+TEST(MetricsTest, JsonEscapePassesPlainText)
+{
+    EXPECT_EQ(jsonEscape("hello world_42"), "hello world_42");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(MetricsTest, JsonEscapeQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(MetricsTest, JsonEscapeNamedControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\bb"), "a\\bb");
+    EXPECT_EQ(jsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(MetricsTest, JsonEscapeArbitraryControlCharacters)
+{
+    // Control characters without a short escape must become \u00XX —
+    // and must not sign-extend into \uffXX on platforms where char is
+    // signed.
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+    EXPECT_EQ(jsonEscape(std::string("a\x1fz")), "a\\u001fz");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x7f')), "\x7f");
+    // High-bit bytes (UTF-8 continuation) pass through untouched.
+    const std::string utf8 = "caf\xc3\xa9";
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+    // Embedded NUL is a control character, not a terminator.
+    std::string withNul("a");
+    withNul.push_back('\0');
+    withNul.push_back('b');
+    EXPECT_EQ(jsonEscape(withNul), "a\\u0000b");
+}
+
 } // namespace
 } // namespace fbdp

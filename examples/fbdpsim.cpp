@@ -34,6 +34,13 @@
  *                     CSV, anything else JSON-lines
  *   --epoch T         telemetry epoch, e.g. 500ns / 1us / 2ms
  *                     (default 1us)
+ *   --attribution     latency-phase attribution + stall cycle
+ *                     accounting; appends a per-class phase table and
+ *                     a per-core top-down cycle table
+ *   --stats-json F    dump every statistic of the run (plus the
+ *                     sweep-row / kernel / latency / breakdown
+ *                     tables) as one JSON document — the input side
+ *                     of tools/fbdp-report
  */
 
 #include <cstdlib>
@@ -47,6 +54,7 @@
 #include "sim/trace.hh"
 #include "system/metrics.hh"
 #include "system/runner.hh"
+#include "system/statsjson.hh"
 #include "system/telemetry.hh"
 #include "workload/mixes.hh"
 
@@ -76,11 +84,13 @@ main(int argc, char **argv)
     std::uint64_t insts = 400'000;
     std::uint64_t warmup = 0;
     bool vrl = false, no_sp = false, no_refresh = false,
-         apfl = false, verbose = false, profile = false;
+         apfl = false, verbose = false, profile = false,
+         attribution = false;
     unsigned channels = 2, dimms = 4, rate = 667, k = 4,
              entries = 64, ways = 0;
     std::uint64_t seed = 1;
-    std::string trace_out, trace_filter, telemetry_out, epoch_spec;
+    std::string trace_out, trace_filter, telemetry_out, epoch_spec,
+        stats_json;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -134,6 +144,10 @@ main(int argc, char **argv)
             telemetry_out = need(i);
         else if (!std::strcmp(a, "--epoch"))
             epoch_spec = need(i);
+        else if (!std::strcmp(a, "--attribution"))
+            attribution = true;
+        else if (!std::strcmp(a, "--stats-json"))
+            stats_json = need(i);
         else
             usage(argv[0]);
     }
@@ -171,6 +185,7 @@ main(int argc, char **argv)
     cfg.measureInsts = insts;
     cfg.warmupInsts = warmup ? warmup : insts / 4;
     cfg.seed = seed;
+    cfg.attribution = attribution;
     applyInstsFromEnv(cfg);
 
     const WorkloadMix &mix = mixByName(mix_name);
@@ -273,6 +288,94 @@ main(int argc, char **argv)
                   << r.latePrefetchHits << "\n";
     }
 
+    if (r.attribution.enabled) {
+        // Where each transaction class spends its latency.  Phase
+        // means sum to the total mean by construction, so the table
+        // reads top-down: the widest column is the bottleneck.
+        std::cout << "\n";
+        std::vector<std::string> hdr{"latency phases (mean ns)",
+                                     "samples", "total"};
+        for (unsigned p = 0; p < numLatPhases; ++p)
+            hdr.push_back(latPhaseName(static_cast<LatPhase>(p)));
+        TextTable ph(hdr);
+        auto phaseRow = [&ph](const std::string &label,
+                              const ClassPhaseBreakdown &c) {
+            std::vector<std::string> row{
+                label, std::to_string(c.samples),
+                fmtD(c.meanTotalNs(), 1)};
+            for (unsigned p = 0; p < numLatPhases; ++p)
+                row.push_back(fmtD(c.meanPhaseNs(p), 1));
+            ph.addRow(std::move(row));
+        };
+        for (unsigned c = 0; c < numLatClasses; ++c) {
+            phaseRow(latClassName(static_cast<LatClass>(c)),
+                     r.attribution.total.cls[c]);
+        }
+        if (r.attribution.channels.size() > 1) {
+            for (size_t ch = 0; ch < r.attribution.channels.size();
+                 ++ch) {
+                for (unsigned c = 0; c < numLatClasses; ++c) {
+                    phaseRow(
+                        "ch" + std::to_string(ch) + "."
+                            + latClassName(static_cast<LatClass>(c)),
+                        r.attribution.channels[ch].cls[c]);
+                }
+            }
+        }
+        ph.print(std::cout);
+
+        // Per-core top-down cycle accounting: base work vs stalls,
+        // each stall reason split by the phase of the transaction
+        // that ended it.
+        for (size_t i = 0; i < r.attribution.cores.size(); ++i) {
+            const CoreCycleBreakdown &cb = r.attribution.cores[i];
+            const double window =
+                static_cast<double>(cb.windowTicks);
+            auto cyc = [](Tick t) {
+                return std::to_string(t / cpuCyclePs);
+            };
+            auto pct = [window](Tick t) {
+                return window > 0.0
+                    ? fmtPct(static_cast<double>(t) / window)
+                    : fmtPct(0.0);
+            };
+            std::cout << "\n";
+            TextTable ct({"core " + std::to_string(i) + " cycles",
+                          "cycles", "% of window"});
+            ct.addRow({"window", cyc(cb.windowTicks), pct(cb.windowTicks)});
+            ct.addRow({"base (non-stalled)", cyc(cb.baseTicks()),
+                       pct(cb.baseTicks())});
+            for (unsigned reas = 0;
+                 reas < CoreStallAttribution::numReasons; ++reas) {
+                if (!cb.stall[reas])
+                    continue;
+                const std::string rn = stallReasonName(reas);
+                ct.addRow({rn + " stall", cyc(cb.stall[reas]),
+                           pct(cb.stall[reas])});
+                for (unsigned p = 0; p < numLatPhases; ++p) {
+                    const Tick t = cb.att.byPhase[reas][p];
+                    if (!t)
+                        continue;
+                    ct.addRow({"  " + rn + "."
+                                   + latPhaseName(
+                                       static_cast<LatPhase>(p)),
+                               cyc(t), pct(t)});
+                }
+                if (cb.att.l2Wait[reas]) {
+                    ct.addRow({"  " + rn + ".l2_wait",
+                               cyc(cb.att.l2Wait[reas]),
+                               pct(cb.att.l2Wait[reas])});
+                }
+                if (cb.att.unattributed[reas]) {
+                    ct.addRow({"  " + rn + ".other",
+                               cyc(cb.att.unattributed[reas]),
+                               pct(cb.att.unattributed[reas])});
+                }
+            }
+            ct.print(std::cout);
+        }
+    }
+
     if (sampler) {
         std::cout << "\ntelemetry: " << sampler->records()
                   << " epoch records ("
@@ -312,6 +415,22 @@ main(int argc, char **argv)
                   std::to_string(k.poolHighWater)});
         p.addRow({"pool capacity", std::to_string(k.poolCapacity)});
         p.print(std::cout);
+    }
+
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::cerr << "fbdpsim: cannot open " << stats_json
+                      << " for writing\n";
+            return 1;
+        }
+        SweepRow row;
+        row.config = machine;
+        row.mix = mix.name;
+        row.seed = seed;
+        row.result = r;
+        writeRunStatsJson(sys, row, os);
+        std::cout << "\nstats: full dump -> " << stats_json << "\n";
     }
 
     if (verbose) {

@@ -1,0 +1,408 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fbdp {
+namespace json {
+
+bool
+Value::asBool() const
+{
+    fbdp_assert(isBool(), "json value is not a bool");
+    return b;
+}
+
+double
+Value::asNumber() const
+{
+    fbdp_assert(isNumber(), "json value is not a number");
+    return num;
+}
+
+const std::string &
+Value::asString() const
+{
+    fbdp_assert(isString(), "json value is not a string");
+    return str;
+}
+
+const std::vector<ValuePtr> &
+Value::asArray() const
+{
+    fbdp_assert(isArray(), "json value is not an array");
+    return arr;
+}
+
+const std::vector<std::pair<std::string, ValuePtr>> &
+Value::members() const
+{
+    fbdp_assert(isObject(), "json value is not an object");
+    return obj;
+}
+
+ValuePtr
+Value::get(const std::string &key) const
+{
+    fbdp_assert(isObject(), "json value is not an object");
+    // Later duplicates win: scan back to front.
+    for (auto it = obj.rbegin(); it != obj.rend(); ++it) {
+        if (it->first == key)
+            return it->second;
+    }
+    return nullptr;
+}
+
+ValuePtr
+Value::makeNull()
+{
+    return ValuePtr(new Value(Kind::Null));
+}
+
+ValuePtr
+Value::makeBool(bool v)
+{
+    auto p = new Value(Kind::Bool);
+    p->b = v;
+    return ValuePtr(p);
+}
+
+ValuePtr
+Value::makeNumber(double d)
+{
+    auto p = new Value(Kind::Number);
+    p->num = d;
+    return ValuePtr(p);
+}
+
+ValuePtr
+Value::makeString(std::string s)
+{
+    auto p = new Value(Kind::String);
+    p->str = std::move(s);
+    return ValuePtr(p);
+}
+
+ValuePtr
+Value::makeArray(std::vector<ValuePtr> items)
+{
+    auto p = new Value(Kind::Array);
+    p->arr = std::move(items);
+    return ValuePtr(p);
+}
+
+ValuePtr
+Value::makeObject(std::vector<std::pair<std::string, ValuePtr>> mems)
+{
+    auto p = new Value(Kind::Object);
+    p->obj = std::move(mems);
+    return ValuePtr(p);
+}
+
+namespace {
+
+/** Recursive-descent parser over an in-memory buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    ParseResult
+    run()
+    {
+        ValuePtr v = parseValue();
+        if (!v)
+            return {nullptr, err};
+        skipWs();
+        if (pos != s.size())
+            return {nullptr, where() + "trailing characters after "
+                                       "the document"};
+        return {v, ""};
+    }
+
+  private:
+    static constexpr int maxDepth = 256;
+
+    const std::string &s;
+    size_t pos = 0;
+    int depth = 0;
+    std::string err;
+
+    std::string
+    where() const
+    {
+        size_t line = 1;
+        for (size_t i = 0; i < pos && i < s.size(); ++i) {
+            if (s[i] == '\n')
+                ++line;
+        }
+        return "line " + std::to_string(line) + ": ";
+    }
+
+    ValuePtr
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = where() + what;
+        return nullptr;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n'
+                   || s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        if (++depth > maxDepth)
+            return fail("nesting too deep");
+        ValuePtr v;
+        switch (s[pos]) {
+          case '{':
+            v = parseObject();
+            break;
+          case '[':
+            v = parseArray();
+            break;
+          case '"':
+            v = parseString();
+            break;
+          case 't':
+            v = literal("true") ? Value::makeBool(true)
+                                : fail("bad literal");
+            break;
+          case 'f':
+            v = literal("false") ? Value::makeBool(false)
+                                 : fail("bad literal");
+            break;
+          case 'n':
+            v = literal("null") ? Value::makeNull()
+                                : fail("bad literal");
+            break;
+          default:
+            v = parseNumber();
+            break;
+        }
+        --depth;
+        return v;
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        ++pos; // '{'
+        std::vector<std::pair<std::string, ValuePtr>> mems;
+        skipWs();
+        if (consume('}'))
+            return Value::makeObject(std::move(mems));
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseStringRaw(key))
+                return nullptr;
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            ValuePtr v = parseValue();
+            if (!v)
+                return nullptr;
+            mems.emplace_back(std::move(key), std::move(v));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Value::makeObject(std::move(mems));
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        ++pos; // '['
+        std::vector<ValuePtr> items;
+        skipWs();
+        if (consume(']'))
+            return Value::makeArray(std::move(items));
+        while (true) {
+            ValuePtr v = parseValue();
+            if (!v)
+                return nullptr;
+            items.push_back(std::move(v));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Value::makeArray(std::move(items));
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        std::string out;
+        if (!parseStringRaw(out))
+            return nullptr;
+        return Value::makeString(std::move(out));
+    }
+
+    bool
+    parseStringRaw(std::string &out)
+    {
+        ++pos; // opening quote
+        while (pos < s.size()) {
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= s.size()) {
+                    fail("unterminated escape");
+                    return false;
+                }
+                const char e = s[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > s.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s[pos + static_cast<size_t>(i)];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape");
+                            return false;
+                        }
+                    }
+                    pos += 4;
+                    // Encode the BMP code point as UTF-8; surrogate
+                    // pairs (rare in stats output) pass through as
+                    // two separately-encoded halves.
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("bad escape character");
+                    return false;
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("control character inside string");
+                return false;
+            }
+            out += c;
+            ++pos;
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        const size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
+                   || s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        const std::string tok = s.substr(start, pos - start);
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0') {
+            pos = start;
+            return fail("malformed number '" + tok + "'");
+        }
+        return Value::makeNumber(d);
+    }
+};
+
+} // namespace
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+ParseResult
+parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {nullptr, "cannot open " + path};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+} // namespace json
+} // namespace fbdp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A minimal JSON reader for the tooling side of the project.
+ *
+ * fbdp-report has to load stats/telemetry/benchmark JSON produced by
+ * the simulator (and by google-benchmark) without pulling an external
+ * dependency into the build, so this parses the whole of RFC 8259
+ * into a small immutable value tree: object, array, string, number,
+ * bool, null.  It is a strict parser — trailing garbage, unterminated
+ * literals and bad escapes are errors — but it is not a validator
+ * for pathological depth (the recursion guard simply rejects inputs
+ * nested deeper than a generous fixed bound).
+ */
+
+#ifndef FBDP_COMMON_JSON_HH
+#define FBDP_COMMON_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fbdp {
+namespace json {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+/** One parsed JSON value. */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return _kind; }
+
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    /** Value accessors; asserting the matching kind. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<ValuePtr> &asArray() const;
+
+    /** Object members in document order (duplicate keys keep the
+     *  later value, like every mainstream parser). */
+    const std::vector<std::pair<std::string, ValuePtr>> &
+    members() const;
+
+    /** Object member by key, or nullptr. */
+    ValuePtr get(const std::string &key) const;
+
+    // Construction (used by the parser; also handy in tests).
+    static ValuePtr makeNull();
+    static ValuePtr makeBool(bool b);
+    static ValuePtr makeNumber(double d);
+    static ValuePtr makeString(std::string s);
+    static ValuePtr makeArray(std::vector<ValuePtr> items);
+    static ValuePtr
+    makeObject(std::vector<std::pair<std::string, ValuePtr>> mems);
+
+  private:
+    explicit Value(Kind k) : _kind(k) {}
+
+    Kind _kind;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<ValuePtr> arr;
+    std::vector<std::pair<std::string, ValuePtr>> obj;
+};
+
+/** Result of a parse: either a value or a diagnostic. */
+struct ParseResult
+{
+    ValuePtr value;    ///< null on failure
+    std::string error; ///< empty on success, else "line N: what"
+
+    bool ok() const { return value != nullptr; }
+};
+
+/** Parse one complete JSON document (trailing whitespace allowed). */
+ParseResult parse(const std::string &text);
+
+/** Parse the contents of @p path; IO failures land in error. */
+ParseResult parseFile(const std::string &path);
+
+} // namespace json
+} // namespace fbdp
+
+#endif // FBDP_COMMON_JSON_HH

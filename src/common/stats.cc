@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 
@@ -9,10 +10,26 @@ namespace fbdp {
 namespace stats {
 
 void
+printJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null"; // NaN/Inf are not valid JSON numbers
+        return;
+    }
+    os << v;
+}
+
+void
 Scalar::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " "
        << std::setw(16) << sum << " # " << desc() << "\n";
+}
+
+void
+Scalar::printJson(std::ostream &os) const
+{
+    printJsonNumber(os, sum);
 }
 
 void
@@ -21,6 +38,30 @@ Average::print(std::ostream &os) const
     os << std::left << std::setw(40) << name() << " "
        << std::setw(16) << mean() << " # " << desc()
        << " (" << count << " samples)\n";
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    os << "{\"mean\": ";
+    printJsonNumber(os, mean());
+    os << ", \"samples\": " << count << ", \"total\": ";
+    printJsonNumber(os, sum);
+    os << "}";
+}
+
+Histogram::Histogram(std::string stat_name, std::string stat_desc,
+                     double bucket_lo, double bucket_hi,
+                     unsigned n_buckets)
+    : Stat(std::move(stat_name), std::move(stat_desc)),
+      lo(bucket_lo), hi(bucket_hi),
+      buckets(n_buckets, 0)
+{
+    fbdp_assert(n_buckets >= 1,
+                "%s: histogram needs at least one bucket",
+                name().c_str());
+    fbdp_assert(hi > lo, "%s: degenerate histogram range",
+                name().c_str());
 }
 
 void
@@ -53,12 +94,29 @@ Histogram::quantile(double p) const
     if (p > 1.0)
         p = 1.0;
 
+    const double width = (hi - lo)
+        / static_cast<double>(buckets.size());
+
+    if (p == 0.0) {
+        // The minimum of the distribution: the low edge of the first
+        // populated region, NOT the histogram's lower bound — a
+        // distribution concentrated in one bucket must report that
+        // bucket's own edge instead of interpolating across the empty
+        // span below it.
+        if (under)
+            return lo;
+        for (size_t i = 0; i < buckets.size(); ++i) {
+            if (buckets[i])
+                return lo + width * static_cast<double>(i);
+        }
+        return hi; // only overflows
+    }
+
     double target = p * static_cast<double>(count);
     double cum = static_cast<double>(under);
     if (target <= cum)
         return lo;
 
-    double width = (hi - lo) / static_cast<double>(buckets.size());
     for (size_t i = 0; i < buckets.size(); ++i) {
         if (!buckets[i])
             continue;
@@ -122,10 +180,32 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"mean\": ";
+    printJsonNumber(os, mean());
+    os << ", \"samples\": " << count
+       << ", \"p50\": ";
+    printJsonNumber(os, quantile(0.50));
+    os << ", \"p95\": ";
+    printJsonNumber(os, quantile(0.95));
+    os << ", \"p99\": ";
+    printJsonNumber(os, quantile(0.99));
+    os << ", \"underflows\": " << under
+       << ", \"overflows\": " << over << "}";
+}
+
+void
 Formula::print(std::ostream &os) const
 {
     os << std::left << std::setw(40) << name() << " "
        << std::setw(16) << value() << " # " << desc() << "\n";
+}
+
+void
+Formula::printJson(std::ostream &os) const
+{
+    printJsonNumber(os, value());
 }
 
 void

@@ -39,10 +39,21 @@ class Stat
     /** Print "name value # desc" lines to @p os. */
     virtual void print(std::ostream &os) const = 0;
 
+    /**
+     * Print the value as a single JSON value (a number for scalars
+     * and formulas, a summary object for averages and histograms).
+     * Non-finite values render as null, keeping the output valid
+     * JSON.
+     */
+    virtual void printJson(std::ostream &os) const = 0;
+
   private:
     std::string _name;
     std::string _desc;
 };
+
+/** Write @p v as a JSON number, or null when not finite. */
+void printJsonNumber(std::ostream &os, double v);
 
 /** Monotonic (or at least additive) scalar counter. */
 class Scalar : public Stat
@@ -58,6 +69,7 @@ class Scalar : public Stat
 
     void reset() override { sum = 0.0; }
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     double sum = 0.0;
@@ -82,6 +94,7 @@ class Average : public Stat
 
     void reset() override { sum = 0.0; count = 0; }
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     double sum = 0.0;
@@ -92,12 +105,10 @@ class Average : public Stat
 class Histogram : public Stat
 {
   public:
+    /** Geometry must be non-degenerate: at least one bucket and a
+     *  positive-width [lo, hi) range (asserted). */
     Histogram(std::string stat_name, std::string stat_desc,
-              double bucket_lo, double bucket_hi, unsigned n_buckets)
-        : Stat(std::move(stat_name), std::move(stat_desc)),
-          lo(bucket_lo), hi(bucket_hi),
-          buckets(n_buckets, 0)
-    {}
+              double bucket_lo, double bucket_hi, unsigned n_buckets);
 
     void sample(double v);
 
@@ -119,8 +130,14 @@ class Histogram : public Stat
      * bucket counts and the value is interpolated linearly within the
      * containing bucket, so quantiles move smoothly rather than
      * jumping from bucket edge to bucket edge.  Underflows resolve to
-     * the low bound and overflows to the high bound; an empty
-     * histogram reports 0.
+     * the low bound and overflows to the high bound.
+     *
+     * Edge cases are pinned down: an empty histogram reports 0 for
+     * every p; p == 0 reports the low edge of the first populated
+     * bucket (not the histogram's lower bound), so a distribution
+     * concentrated in one bucket yields that bucket's own [low, high)
+     * range across p instead of interpolating against the empty span
+     * below it.
      */
     double quantile(double p) const;
 
@@ -129,6 +146,7 @@ class Histogram : public Stat
 
     void reset() override;
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     double lo;
@@ -154,6 +172,7 @@ class Formula : public Stat
 
     void reset() override {}
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
 
   private:
     std::function<double()> eval;

@@ -48,6 +48,12 @@ Core::resetStats()
     lqStall = 0;
     sqStall = 0;
     mshrStall = 0;
+    // A stall in progress spans the window boundary; clock only its
+    // in-window part so per-core cycle accounting sums to the window.
+    if (stallReason != Stall::None)
+        stallSince = tickMark;
+    if (stallAtt)
+        stallAtt->reset();
 }
 
 double
@@ -213,6 +219,13 @@ Core::bindTracer(trace::Tracer *t)
 }
 
 void
+Core::enableAttribution(AttributionHub *hub)
+{
+    attHub = hub;
+    stallAtt = hub ? std::make_unique<CoreStallAttribution>() : nullptr;
+}
+
+void
 Core::enterStall(Stall why)
 {
     stallReason = why;
@@ -241,6 +254,13 @@ Core::wakeFromStall()
         break;
       case Stall::None:
         break;
+    }
+    if (stallAtt && stallReason != Stall::None) {
+        // Charge the ended interval to whatever completion is in
+        // scope on the hub: the controller publishes around memory
+        // completions, selfCompleteFire around L2 hits.
+        stallAtt->attribute(
+            static_cast<unsigned>(stallReason) - 1, dt, *attHub);
     }
     if (trc.tr && stallReason != Stall::None)
         trc.tr->end(trc.track, stallName(stallReason), now);
@@ -276,7 +296,11 @@ Core::selfCompleteFire()
                       SelfDoneAfter{});
         const SelfDone d = selfDone.back();
         selfDone.pop_back();
+        if (attHub)
+            attHub->publishL2();
         completed(d.seq, d.isLoad);
+        if (attHub)
+            attHub->clear();
     }
     if (!selfDone.empty())
         eq->schedule(&selfCompleteEvent, selfDone.front().at);

@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "common/types.hh"
+#include "mc/attribution.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace.hh"
 #include "workload/generator.hh"
@@ -87,6 +89,20 @@ class Core
     /** Bind (or unbind with nullptr) the lifecycle tracer: stall
      *  periods become Begin/End durations on a per-core track. */
     void bindTracer(trace::Tracer *t);
+
+    /**
+     * Enable stall-cycle attribution (or disable with nullptr).  Each
+     * ended stall interval is charged to the latency phases of the
+     * transaction whose completion woke the core, read from @p hub at
+     * wake time (the controllers publish into the same hub).
+     */
+    void enableAttribution(AttributionHub *hub);
+
+    /** Per-reason stall-by-phase matrix, nullptr unless enabled. */
+    const CoreStallAttribution *stallAttribution() const
+    {
+        return stallAtt.get();
+    }
 
   private:
     enum class Stall { None, Rob, Lq, Sq, Mshr };
@@ -180,6 +196,11 @@ class Core
         std::uint32_t track = 0;
     };
     TraceBinding trc;
+
+    /** Stall-attribution binding; null == disabled (one branch in
+     *  wakeFromStall, same pattern as the tracer binding). */
+    std::unique_ptr<CoreStallAttribution> stallAtt;
+    AttributionHub *attHub = nullptr;
 };
 
 } // namespace fbdp

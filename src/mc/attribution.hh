@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Latency-phase attribution: where did each transaction's time go?
+ *
+ * Every transaction carries a small set of boundary timestamps (see
+ * Transaction::stamp*) recorded as it moves through the controller.
+ * At completion they are folded into a strictly telescoping sequence
+ * of phase intervals, so the attributed phase times of one transaction
+ * sum to its end-to-end latency *exactly*, in integer ticks — the
+ * conservation property tests/test_attribution.cc asserts.
+ *
+ * The layer follows PR 3's observer pattern: always compiled, enabled
+ * per run, and gated behind one cached pointer on the hot path so a
+ * disabled simulation pays a single predictable branch.  Attribution
+ * never mutates simulation state, so enabling it cannot change
+ * results.
+ *
+ * The AttributionHub additionally links the memory side to the CPU
+ * side: the controller publishes the phase profile of each completing
+ * transaction immediately before invoking its completion callback, and
+ * any core whose stall ends inside that callback chain charges the
+ * stalled cycles to the phases of the transaction that unblocked it
+ * (the paper's Fig. 9 decomposition, per stall reason).
+ */
+
+#ifndef FBDP_MC_ATTRIBUTION_HH
+#define FBDP_MC_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fbdp {
+
+struct Transaction;
+
+/** One latency phase of a transaction's life at the controller. */
+enum class LatPhase : unsigned {
+    Queue,    ///< controller front-end overhead (arrival -> eligible)
+    Sched,    ///< reorder-window wait (eligible -> first command)
+    BankPrep, ///< PRE/ACT + bank-conflict wait before the CAS
+    South,    ///< south-link command (and write-data) transfer
+    Amb,      ///< AMB queue / AMB-cache fill wait (prefetch hits)
+    Bank,     ///< DRAM bank service (CAS arrival -> data off the pins)
+    North,    ///< north-link queue + transfer back to the controller
+};
+
+constexpr unsigned numLatPhases = 7;
+
+/** Transaction class a phase breakdown is kept for. */
+enum class LatClass : unsigned {
+    DemandRead, ///< reads that missed every prefetch buffer
+    PrefHit,    ///< reads served by the AMB cache / MC buffer
+    SwPrefetch, ///< software-prefetch reads on the demand path
+    Write,      ///< posted writes
+};
+
+constexpr unsigned numLatClasses = 4;
+
+/** Short column-safe name ("queue", "sched", ...). */
+const char *latPhaseName(LatPhase p);
+/** Short column-safe name ("demand", "pref_hit", ...). */
+const char *latClassName(LatClass c);
+
+/** Phase intervals of one transaction, in ticks; sums to total. */
+struct PhaseDurations
+{
+    Tick phase[numLatPhases] = {};
+    Tick total = 0;
+    LatClass cls = LatClass::DemandRead;
+};
+
+/** Classify a completed transaction. */
+LatClass latClassOf(const Transaction &t);
+
+/**
+ * Fold a completed transaction's boundary stamps into phase
+ * intervals.  Boundaries are clamped monotonically (an unset stamp
+ * inherits its predecessor), so the intervals telescope and
+ * sum(phase[]) == completedAt - arrivedAtMc holds exactly.
+ */
+PhaseDurations computePhaseDurations(const Transaction &t);
+
+/**
+ * Hand-off point between the memory controllers and the cores.  The
+ * controller publishes the phase profile of a completing transaction
+ * for the duration of its completion callback; a core ending a stall
+ * inside that chain reads it to attribute the stalled cycles.  Cores
+ * publish an L2 marker around their self-scheduled (L2-hit)
+ * completions the same way.
+ */
+class AttributionHub
+{
+  public:
+    enum class Source { None, Memory, L2Hit };
+
+    void
+    publish(const PhaseDurations &d)
+    {
+        src = Source::Memory;
+        last = d;
+    }
+    void publishL2() { src = Source::L2Hit; }
+    void clear() { src = Source::None; }
+
+    Source source() const { return src; }
+    const PhaseDurations &lastCompleted() const { return last; }
+
+  private:
+    Source src = Source::None;
+    PhaseDurations last;
+};
+
+/**
+ * Per-channel phase-breakdown accumulator: for every transaction
+ * class, integer tick totals per phase (exact) plus one per-phase
+ * histogram in nanoseconds (distribution shape).  Allocated only when
+ * attribution is enabled.
+ */
+class ChannelAttribution
+{
+  public:
+    struct ClassAccum
+    {
+        std::uint64_t samples = 0;
+        std::uint64_t totalTicks = 0;
+        std::uint64_t phaseTicks[numLatPhases] = {};
+        /** Per-phase latency histograms (ns), same geometry as the
+         *  controller's read-latency histograms. */
+        std::vector<stats::Histogram> hist;
+    };
+
+    ChannelAttribution();
+
+    /** Accumulate @p t's phases; returns them for hub publication. */
+    PhaseDurations record(const Transaction &t);
+
+    const ClassAccum &cls(LatClass c) const
+    {
+        return classes[static_cast<unsigned>(c)];
+    }
+
+    /** Clear the measurement window (mid-run resetStats). */
+    void reset();
+
+  private:
+    ClassAccum classes[numLatClasses];
+};
+
+/**
+ * Per-core stall-cycle attribution.  Each stall interval is charged,
+ * on wake, to the phases of the transaction that ended it
+ * (proportionally, with the integer remainder assigned to the largest
+ * phase so rows still sum exactly), or to the L2 / unattributed
+ * buckets when no memory transaction was involved.
+ */
+struct CoreStallAttribution
+{
+    /** Stall reasons, indexable (matches Core's Rob/Lq/Sq/Mshr). */
+    static constexpr unsigned numReasons = 4;
+
+    Tick byPhase[numReasons][numLatPhases] = {};
+    Tick l2Wait[numReasons] = {};       ///< blocked on an L2 hit
+    Tick unattributed[numReasons] = {}; ///< no completion in scope
+
+    /** Charge @p dt of reason @p reason according to @p hub. */
+    void attribute(unsigned reason, Tick dt, const AttributionHub &hub);
+
+    /** Everything charged against @p reason (== the reason's stall
+     *  tick total, exactly). */
+    Tick reasonTotal(unsigned reason) const;
+
+    void reset() { *this = CoreStallAttribution{}; }
+};
+
+/** Pretty name for a stall-reason row ("rob", "lq", "sq", "mshr"). */
+const char *stallReasonName(unsigned reason);
+
+/** Plain-data snapshot of one class's phase totals (RunResult). */
+struct ClassPhaseBreakdown
+{
+    std::uint64_t samples = 0;
+    std::uint64_t totalTicks = 0;
+    std::uint64_t phaseTicks[numLatPhases] = {};
+
+    /** Mean end-to-end latency in ns. */
+    double meanTotalNs() const;
+    /** Mean time in @p p per transaction, ns. */
+    double meanPhaseNs(unsigned p) const;
+
+    void merge(const ClassPhaseBreakdown &o);
+};
+
+/** Phase totals of one channel, all classes. */
+struct ChannelBreakdown
+{
+    ClassPhaseBreakdown cls[numLatClasses];
+
+    void merge(const ChannelBreakdown &o);
+};
+
+/** One core's measured-window cycle accounting. */
+struct CoreCycleBreakdown
+{
+    Tick windowTicks = 0;
+    /** Total stall ticks per reason (rob, lq, sq, mshr). */
+    Tick stall[CoreStallAttribution::numReasons] = {};
+    /** Where the stalled time went (sums to stall[] per reason). */
+    CoreStallAttribution att;
+
+    Tick stallTotal() const;
+    /** Non-stalled remainder of the window. */
+    Tick baseTicks() const;
+};
+
+/** Everything attribution-related one run produced. */
+struct AttributionResult
+{
+    bool enabled = false;
+    ChannelBreakdown total;                 ///< merged over channels
+    std::vector<ChannelBreakdown> channels; ///< per logic channel
+    std::vector<CoreCycleBreakdown> cores;  ///< per core
+};
+
+} // namespace fbdp
+
+#endif // FBDP_MC_ATTRIBUTION_HH

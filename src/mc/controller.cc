@@ -75,6 +75,13 @@ MemController::bindTracer(trace::Tracer *t, unsigned channel)
 }
 
 void
+MemController::enableAttribution(AttributionHub *hub)
+{
+    attHub = hub;
+    att = hub ? std::make_unique<ChannelAttribution>() : nullptr;
+}
+
+void
 MemController::serviceRefresh(Tick now)
 {
     if (!cfg.refreshEnable)
@@ -385,6 +392,12 @@ MemController::issueAmbHit(Transaction *t, Tick now)
 
     cmdLink.useCmdSlot(now);
     const Tick arrive = now + cfg.cmdDelay;
+    if (att) {
+        if (!t->stampIssue)
+            t->stampIssue = now;
+        t->stampCas = now;
+        t->stampArrive = arrive;
+    }
     Tick nb_earliest = std::max(arrive, line->readyAt);
     if (cfg.apFullLatency) {
         // APFL (Fig. 9): same idle latency as a DRAM access, but no
@@ -394,6 +407,8 @@ MemController::issueAmbHit(Transaction *t, Tick now)
     }
     const Tick nb_start = reserveNorthbound(nb_earliest, d);
     const Tick ready = nb_start + cfg.timing.burst + chainDelay(d);
+    if (att)
+        t->stampData = nb_start;
 
     ++nAmbHits;
     // Timeliness: the prefetch covered this read, but its fill had
@@ -440,6 +455,15 @@ MemController::issueMcHit(Transaction *t, Tick now)
 
     // The data is already at the controller: no command, no link.
     const Tick ready = std::max(now, line->readyAt);
+    if (att) {
+        // No command and no link: the whole service interval is the
+        // buffer wait, bounded by [now, ready].
+        if (!t->stampIssue)
+            t->stampIssue = now;
+        t->stampCas = now;
+        t->stampArrive = now;
+        t->stampData = ready;
+    }
     ++nMcHits;
     const bool late = line->readyAt > now;
     if (late)
@@ -467,6 +491,8 @@ MemController::issuePrecharge(Transaction *t, Tick now)
     if (dimm.earliestPrecharge(t->coord.bank, arrive) > arrive)
         return false;
     cmdLink.useCmdSlot(now);
+    if (att && !t->stampIssue)
+        t->stampIssue = now;
     dimm.precharge(t->coord.bank, arrive);
     if (trc.tr) {
         trc.tr->instant(trc.south, "pre", now);
@@ -496,6 +522,8 @@ MemController::issueActivate(Transaction *t, Tick now)
     if (dimm.earliestAct(t->coord.bank, arrive) > arrive)
         return false;
     cmdLink.useCmdSlot(now);
+    if (att && !t->stampIssue)
+        t->stampIssue = now;
     dimm.activate(t->coord.bank, arrive, t->coord.row);
     if (trc.tr) {
         trc.tr->instant(trc.south, "act", now);
@@ -531,6 +559,12 @@ MemController::issueRead(Transaction *t, Tick now)
     const DramTiming &tm = cfg.timing;
 
     cmdLink.useCmdSlot(now);
+    if (att) {
+        if (!t->stampIssue)
+            t->stampIssue = now;
+        t->stampCas = now;
+        t->stampArrive = arrive;
+    }
     dimm.read(t->coord.bank, arrive, n, auto_pre);
 
     if (trc.tr) {
@@ -559,6 +593,8 @@ MemController::issueRead(Transaction *t, Tick now)
         const Tick d_start = data_bus.reserve(cas + tm.tCL, tm.burst);
         if (i == 0) {
             // The demanded line: forwarded straight to the channel.
+            if (att)
+                t->stampData = d_start;
             const Tick nb_start = cfg.fbd
                 ? reserveNorthbound(d_start, d)
                 : d_start;
@@ -638,6 +674,15 @@ MemController::issueWrite(Transaction *t, Tick now)
     }
 
     const Tick end = dimm.write(t->coord.bank, wr_cas, auto_pre);
+    if (att) {
+        // South covers the write-data frames (now -> wr_cas arrival);
+        // Bank covers the DRAM write burst; nothing returns north.
+        if (!t->stampIssue)
+            t->stampIssue = now;
+        t->stampCas = now;
+        t->stampArrive = wr_cas;
+        t->stampData = end;
+    }
     if (trc.tr) {
         trc.tr->instant(trc.south, "wr", now);
         const std::uint32_t bank_trk =
@@ -719,8 +764,18 @@ MemController::completionFire()
         } else {
             latHistWrite.sample(lat_ns);
         }
+        if (att) {
+            // Publish the phase profile for the duration of the
+            // completion callback so a core whose stall ends inside it
+            // can attribute the stalled cycles to these phases.
+            const PhaseDurations pd = att->record(*t);
+            if (attHub)
+                attHub->publish(pd);
+        }
         if (t->onComplete)
             t->onComplete(t->completedAt);
+        if (attHub)
+            attHub->clear();
         t.reset();
     }
     if (!completions.empty())
@@ -785,6 +840,8 @@ MemController::resetStats()
         table->resetStats();
     if (mcBuf)
         mcBuf->resetStats();
+    if (att)
+        att->reset();
 }
 
 } // namespace fbdp

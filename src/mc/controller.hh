@@ -36,6 +36,7 @@
 #include <algorithm>
 #include "dram/dimm.hh"
 #include "dram/dram_timing.hh"
+#include "mc/attribution.hh"
 #include "mc/link.hh"
 #include "mc/transaction.hh"
 #include "prefetch/prefetch_table.hh"
@@ -100,6 +101,19 @@ class MemController
      * pay nothing.  Interns one track per link, bank and AMB cache.
      */
     void bindTracer(trace::Tracer *t, unsigned channel);
+
+    /**
+     * Enable latency-phase attribution (or disable with nullptr).
+     * Allocates the per-channel accumulator; the hot path tests the
+     * cached `att` pointer exactly like the tracer binding, so a
+     * disabled controller pays one branch per stamp site.  Completion
+     * profiles are published to @p hub (may be nullptr) for the cores'
+     * stall accounting.
+     */
+    void enableAttribution(AttributionHub *hub);
+
+    /** Phase-breakdown accumulator, nullptr unless enabled. */
+    const ChannelAttribution *attribution() const { return att.get(); }
 
     /** Total requests currently inside the controller. */
     size_t occupancy() const
@@ -353,6 +367,11 @@ class MemController
         std::vector<std::uint32_t> dimm;  ///< per DIMM (refresh)
     };
     TraceBinding trc;
+
+    /** Phase-attribution accumulator; null == disabled (one branch
+     *  per stamp site, same pattern as the tracer binding). */
+    std::unique_ptr<ChannelAttribution> att;
+    AttributionHub *attHub = nullptr;
 
     trace::Kind traceKind(const Transaction *t) const
     {

@@ -78,6 +78,15 @@ struct SystemConfig
      *  speculation). Configure via hier.hwPrefetch for detail. */
     bool hwPrefetch = false;
 
+    // --- observability ---
+    /**
+     * Latency-phase attribution: stamp every transaction's phase
+     * boundaries and account stall cycles to the phase of the
+     * blocking transaction.  Observer-only — enabling it never
+     * changes simulation results.
+     */
+    bool attribution = false;
+
     /** Number of cores (== benchmarks.size() once assigned). */
     unsigned
     nCores() const

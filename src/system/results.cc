@@ -349,6 +349,61 @@ ResultSchema::latencyPercentiles()
     return schema;
 }
 
+const ResultSchema &
+ResultSchema::latencyBreakdown()
+{
+    static const ResultSchema schema = [] {
+        ResultSchema s;
+        s.add(Column{"config", "", "machine configuration name",
+                     ColumnKind::Text, [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.config);
+                     }});
+        s.add(Column{"mix", "", "workload mix name", ColumnKind::Text,
+                     [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.mix);
+                     }});
+        s.add(Column{"seed", "", "RNG seed of this repeat",
+                     ColumnKind::Count, [](const SweepRow &r) {
+                         return ColumnValue::ofCount(r.seed);
+                     }});
+
+        for (unsigned c = 0; c < numLatClasses; ++c) {
+            const std::string cn =
+                latClassName(static_cast<LatClass>(c));
+            s.add(Column{cn + "_samples", "ops",
+                         cn + " transactions completed",
+                         ColumnKind::Count, [c](const SweepRow &r) {
+                             return ColumnValue::ofCount(
+                                 r.result.attribution.total.cls[c]
+                                     .samples);
+                         }});
+            s.add(Column{cn + "_total_ns", "ns",
+                         cn + ": mean end-to-end latency",
+                         ColumnKind::Real, [c](const SweepRow &r) {
+                             return ColumnValue::ofReal(
+                                 r.result.attribution.total.cls[c]
+                                     .meanTotalNs());
+                         }});
+            for (unsigned p = 0; p < numLatPhases; ++p) {
+                const std::string pn =
+                    latPhaseName(static_cast<LatPhase>(p));
+                s.add(Column{cn + "_" + pn + "_ns", "ns",
+                             cn + ": mean time in the " + pn
+                                 + " phase",
+                             ColumnKind::Real,
+                             [c, p](const SweepRow &r) {
+                                 return ColumnValue::ofReal(
+                                     r.result.attribution.total
+                                         .cls[c]
+                                         .meanPhaseNs(p));
+                             }});
+            }
+        }
+        return s;
+    }();
+    return schema;
+}
+
 std::string
 ResultSchema::csvHeader() const
 {

@@ -106,6 +106,17 @@ class ResultSchema
      */
     static const ResultSchema &latencyPercentiles();
 
+    /**
+     * Per-class latency-phase breakdown (the attribution layer's
+     * aggregate over all channels): per transaction class, the sample
+     * count, the mean end-to-end latency and the mean time spent in
+     * each phase — phase means sum to the total mean by construction.
+     * Columns are all zero unless the run had
+     * SystemConfig::attribution enabled.  A separate table because
+     * sweepRows() is a byte-for-byte compatibility surface.
+     */
+    static const ResultSchema &latencyBreakdown();
+
     /** Comma-joined column names. */
     std::string csvHeader() const;
 

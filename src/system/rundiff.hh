@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Diffing two runs' stats JSON with tolerances — the engine behind
+ * the fbdp-report tool and the CI perf gate.
+ *
+ * Both inputs are arbitrary JSON documents (the simulator's
+ * --stats-json dump, a google-benchmark results file, a telemetry
+ * summary...).  Each document is flattened into dotted scalar paths
+ * ("mc0.read_latency.p95", "benchmarks.BM_FullSystemSimRate.
+ * items_per_second"), the two key sets are aligned, and every shared
+ * numeric key is compared under a relative tolerance.  Keys present
+ * on one side only are reported but are not failures unless strict
+ * mode asks for them to be.
+ *
+ * Array elements are keyed by their "name" member when they have one
+ * (google-benchmark's layout) and by index otherwise, so reordering
+ * named entries does not produce spurious diffs.
+ */
+
+#ifndef FBDP_SYSTEM_RUNDIFF_HH
+#define FBDP_SYSTEM_RUNDIFF_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace fbdp {
+
+/** Direction of "worse" for a compared metric. */
+enum class DiffDirection {
+    TwoSided,     ///< any drift beyond tolerance fails
+    HigherBetter, ///< only a drop beyond tolerance fails (rates)
+    LowerBetter,  ///< only a rise beyond tolerance fails (latencies)
+};
+
+/** Flatten @p v into dotted-path scalars.  Strings and bools become
+ *  text entries; numbers become numeric entries. */
+struct FlatEntry
+{
+    bool numeric = false;
+    double num = 0.0;
+    std::string text; ///< set for strings/bools/null
+};
+
+std::map<std::string, FlatEntry> flattenJson(const json::ValuePtr &v);
+
+/** Comparison policy. */
+struct DiffOptions
+{
+    /** Relative tolerance: |b - a| / max(|a|, eps) must stay <= tol.
+     *  0 demands exact equality. */
+    double tolerance = 0.10;
+
+    DiffDirection direction = DiffDirection::TwoSided;
+
+    /** Per-key tolerance overrides (exact path match). */
+    std::map<std::string, double> keyTolerances;
+
+    /** When non-empty, only paths containing one of these substrings
+     *  are compared. */
+    std::vector<std::string> only;
+
+    /** Paths containing any of these substrings are skipped. */
+    std::vector<std::string> ignore;
+
+    /** Keys present on one side only become failures. */
+    bool strict = false;
+};
+
+/** One compared key. */
+struct DiffEntry
+{
+    std::string key;
+    double a = 0.0;
+    double b = 0.0;
+    double relDelta = 0.0; ///< (b - a) / max(|a|, eps)
+    bool regression = false;
+    bool textMismatch = false; ///< non-numeric values differed
+    std::string textA, textB;
+};
+
+/** Outcome of one diff. */
+struct DiffReport
+{
+    std::vector<DiffEntry> changed;  ///< beyond tolerance (worse or
+                                     ///< drifted, per direction)
+    std::vector<DiffEntry> withinTol;///< compared, within tolerance
+    std::vector<std::string> onlyA;  ///< keys missing from run B
+    std::vector<std::string> onlyB;  ///< keys missing from run A
+    std::size_t compared = 0;
+
+    bool strictUsed = false;
+
+    /** True when the gate should fail. */
+    bool
+    failed() const
+    {
+        for (const DiffEntry &e : changed) {
+            if (e.regression || e.textMismatch)
+                return true;
+        }
+        return strictUsed && (!onlyA.empty() || !onlyB.empty());
+    }
+};
+
+/** Compare two flattened runs under @p opt. */
+DiffReport diffRuns(const std::map<std::string, FlatEntry> &a,
+                    const std::map<std::string, FlatEntry> &b,
+                    const DiffOptions &opt);
+
+/** Human-readable summary table of @p r (regressions first). */
+void printDiffReport(const DiffReport &r, std::ostream &os,
+                     bool verbose = false);
+
+} // namespace fbdp
+
+#endif // FBDP_SYSTEM_RUNDIFF_HH

@@ -101,6 +101,13 @@ System::System(const SystemConfig &config)
             csprintf("cpu%u.%s", i, prof.name.c_str()),
             static_cast<int>(i), &eq, hier.get(), gens[i].get(), cp));
     }
+
+    if (cfg.attribution) {
+        for (auto &mc : controllers)
+            mc->enableAttribution(&attHub);
+        for (auto &c : cores)
+            c->enableAttribution(&attHub);
+    }
 }
 
 System::~System() = default;
@@ -185,115 +192,188 @@ System::run()
 void
 System::report(std::ostream &os) const
 {
+    for (const OwnedStatGroup &g : buildStatGroups())
+        g.group.printAll(os);
+}
+
+std::vector<System::OwnedStatGroup>
+System::buildStatGroups(bool include_histograms) const
+{
     using stats::Formula;
-    using stats::StatGroup;
+
+    std::vector<OwnedStatGroup> groups;
+
+    auto addF = [](OwnedStatGroup &g, std::string name,
+                   std::string desc, std::function<double()> fn) {
+        auto f = std::make_unique<Formula>(
+            std::move(name), std::move(desc), std::move(fn));
+        g.group.registerStat(f.get());
+        g.owned.push_back(std::move(f));
+    };
+    // Component-owned stats (histograms) are registered borrowed; the
+    // group never mutates them, so shedding const is safe here.
+    auto addBorrowed = [](OwnedStatGroup &g, const stats::Stat &s) {
+        g.group.registerStat(const_cast<stats::Stat *>(&s));
+    };
 
     for (size_t i = 0; i < cores.size(); ++i) {
         const Core &c = *cores[i];
-        StatGroup g(c.name());
-        Formula ipc("ipc", "instructions per cycle (window)",
-                    [&c] { return c.ipc(); });
-        Formula insts("insts", "instructions in window",
-                      [&c] { return static_cast<double>(
-                                 c.windowInsts()); });
-        Formula rob("rob_stall_ns", "ROB-full stall time",
-                    [&c] { return ticksToNs(c.robStallTicks()); });
-        Formula lq("lq_stall_ns", "load-queue stall time",
-                   [&c] { return ticksToNs(c.lqStallTicks()); });
-        Formula sq("sq_stall_ns", "store-queue stall time",
-                   [&c] { return ticksToNs(c.sqStallTicks()); });
-        Formula mshr("mshr_stall_ns", "MSHR-full stall time",
-                     [&c] { return ticksToNs(c.mshrStallTicks()); });
-        Formula l1h("l1_hits", "L1 hits",
-                    [this, i] { return static_cast<double>(
-                                    hier->l1Hits(
-                                        static_cast<int>(i))); });
-        Formula l1m("l1_misses", "L1 misses",
-                    [this, i] { return static_cast<double>(
-                                    hier->l1Misses(
-                                        static_cast<int>(i))); });
-        for (stats::Stat *s : std::initializer_list<stats::Stat *>{
-                 &ipc, &insts, &rob, &lq, &sq, &mshr, &l1h, &l1m})
-            g.registerStat(s);
-        g.printAll(os);
+        OwnedStatGroup &g = groups.emplace_back(c.name());
+        addF(g, "ipc", "instructions per cycle (window)",
+             [&c] { return c.ipc(); });
+        addF(g, "insts", "instructions in window",
+             [&c] { return static_cast<double>(c.windowInsts()); });
+        addF(g, "rob_stall_ns", "ROB-full stall time",
+             [&c] { return ticksToNs(c.robStallTicks()); });
+        addF(g, "lq_stall_ns", "load-queue stall time",
+             [&c] { return ticksToNs(c.lqStallTicks()); });
+        addF(g, "sq_stall_ns", "store-queue stall time",
+             [&c] { return ticksToNs(c.sqStallTicks()); });
+        addF(g, "mshr_stall_ns", "MSHR-full stall time",
+             [&c] { return ticksToNs(c.mshrStallTicks()); });
+        addF(g, "l1_hits", "L1 hits",
+             [this, i] { return static_cast<double>(
+                             hier->l1Hits(static_cast<int>(i))); });
+        addF(g, "l1_misses", "L1 misses",
+             [this, i] { return static_cast<double>(
+                             hier->l1Misses(static_cast<int>(i))); });
+
+        // Stall-cycle attribution: every ended stall interval charged
+        // to the phases of the completion that woke the core.
+        if (const CoreStallAttribution *sa = c.stallAttribution()) {
+            for (unsigned rsn = 0;
+                 rsn < CoreStallAttribution::numReasons; ++rsn) {
+                const std::string r = stallReasonName(rsn);
+                for (unsigned p = 0; p < numLatPhases; ++p) {
+                    addF(g,
+                         r + "_stall_"
+                             + latPhaseName(static_cast<LatPhase>(p))
+                             + "_ns",
+                         "stall time blocked in this memory phase",
+                         [sa, rsn, p] {
+                             return ticksToNs(sa->byPhase[rsn][p]);
+                         });
+                }
+                addF(g, r + "_stall_l2_ns",
+                     "stall time ended by an L2 hit",
+                     [sa, rsn] { return ticksToNs(sa->l2Wait[rsn]); });
+                addF(g, r + "_stall_other_ns",
+                     "stall time with no completion in scope",
+                     [sa, rsn] {
+                         return ticksToNs(sa->unattributed[rsn]);
+                     });
+            }
+        }
     }
 
     {
-        StatGroup g("l2");
-        Formula hits("hits", "L2 hits",
-                     [this] { return static_cast<double>(
-                                  hier->l2Hits()); });
-        Formula misses("misses", "L2 misses (incl. MSHR merges)",
-                       [this] { return static_cast<double>(
-                                    hier->l2Misses()); });
-        Formula rd("mem_reads", "demand reads sent to memory",
-                   [this] { return static_cast<double>(
-                                hier->memReads()); });
-        Formula wr("mem_writes", "writebacks sent to memory",
-                   [this] { return static_cast<double>(
-                                hier->memWrites()); });
-        Formula pf("sw_prefetches", "software prefetches sent",
-                   [this] { return static_cast<double>(
-                                hier->prefetchesSent()); });
-        Formula pfd("sw_prefetches_dropped",
-                    "software prefetches dropped",
-                    [this] { return static_cast<double>(
-                                 hier->prefetchesDropped()); });
-        for (stats::Stat *s : std::initializer_list<stats::Stat *>{
-                 &hits, &misses, &rd, &wr, &pf, &pfd})
-            g.registerStat(s);
-        g.printAll(os);
+        OwnedStatGroup &g = groups.emplace_back("l2");
+        addF(g, "hits", "L2 hits",
+             [this] { return static_cast<double>(hier->l2Hits()); });
+        addF(g, "misses", "L2 misses (incl. MSHR merges)",
+             [this] { return static_cast<double>(hier->l2Misses()); });
+        addF(g, "mem_reads", "demand reads sent to memory",
+             [this] { return static_cast<double>(hier->memReads()); });
+        addF(g, "mem_writes", "writebacks sent to memory",
+             [this] { return static_cast<double>(
+                          hier->memWrites()); });
+        addF(g, "sw_prefetches", "software prefetches sent",
+             [this] { return static_cast<double>(
+                          hier->prefetchesSent()); });
+        addF(g, "sw_prefetches_dropped",
+             "software prefetches dropped",
+             [this] { return static_cast<double>(
+                          hier->prefetchesDropped()); });
     }
 
     for (const auto &mcp : controllers) {
         const MemController &mc = *mcp;
-        StatGroup g(mc.name());
-        Formula rd("reads", "read transactions",
-                   [&mc] { return static_cast<double>(mc.reads()); });
-        Formula wr("writes", "write transactions",
-                   [&mc] { return static_cast<double>(
-                               mc.writes()); });
-        Formula lat("avg_read_latency_ns",
-                    "MC arrival to data at MC",
-                    [&mc] { return mc.avgReadLatencyNs(); });
-        Formula p95("p95_read_latency_ns", "95th percentile",
-                    [&mc] {
-                        return mc.readLatencyPercentileNs(0.95);
-                    });
-        Formula p99("p99_read_latency_ns", "99th percentile",
-                    [&mc] {
-                        return mc.readLatencyPercentileNs(0.99);
-                    });
-        Formula act("act_pre", "activate/precharge pairs",
-                    [&mc] { return static_cast<double>(
-                                mc.dramOps().actPre); });
-        Formula cas("cas", "column accesses",
-                    [&mc] { return static_cast<double>(
-                                mc.dramOps().cas()); });
-        Formula ref("refresh", "refresh commands",
-                    [&mc] { return static_cast<double>(
-                                mc.dramOps().refresh); });
-        Formula hits("amb_hits", "reads served by the AMB cache",
-                     [&mc] { return static_cast<double>(
-                                 mc.ambHits()); });
-        Formula late("late_prefetch_hits",
-                     "prefetch hits with the fill still in flight",
-                     [&mc] { return static_cast<double>(
-                                 mc.latePrefetchHits()); });
-        Formula cov("coverage", "#prefetch_hit / #read", [&mc] {
+        OwnedStatGroup &g = groups.emplace_back(mc.name());
+        addF(g, "reads", "read transactions",
+             [&mc] { return static_cast<double>(mc.reads()); });
+        addF(g, "writes", "write transactions",
+             [&mc] { return static_cast<double>(mc.writes()); });
+        addF(g, "avg_read_latency_ns", "MC arrival to data at MC",
+             [&mc] { return mc.avgReadLatencyNs(); });
+        addF(g, "p95_read_latency_ns", "95th percentile",
+             [&mc] { return mc.readLatencyPercentileNs(0.95); });
+        addF(g, "p99_read_latency_ns", "99th percentile",
+             [&mc] { return mc.readLatencyPercentileNs(0.99); });
+        addF(g, "act_pre", "activate/precharge pairs",
+             [&mc] { return static_cast<double>(
+                         mc.dramOps().actPre); });
+        addF(g, "cas", "column accesses",
+             [&mc] { return static_cast<double>(
+                         mc.dramOps().cas()); });
+        addF(g, "refresh", "refresh commands",
+             [&mc] { return static_cast<double>(
+                         mc.dramOps().refresh); });
+        addF(g, "amb_hits", "reads served by the AMB cache",
+             [&mc] { return static_cast<double>(mc.ambHits()); });
+        addF(g, "late_prefetch_hits",
+             "prefetch hits with the fill still in flight",
+             [&mc] { return static_cast<double>(
+                         mc.latePrefetchHits()); });
+        addF(g, "coverage", "#prefetch_hit / #read", [&mc] {
             const PrefetchTable *t = mc.prefetchTable();
             return t ? t->coverage() : 0.0;
         });
-        Formula eff("efficiency", "#prefetch_hit / #prefetch", [&mc] {
+        addF(g, "efficiency", "#prefetch_hit / #prefetch", [&mc] {
             const PrefetchTable *t = mc.prefetchTable();
             return t ? t->efficiency() : 0.0;
         });
-        for (stats::Stat *s : std::initializer_list<stats::Stat *>{
-                 &rd, &wr, &lat, &p95, &p99, &act, &cas, &ref,
-                 &hits, &late, &cov, &eff})
-            g.registerStat(s);
-        g.printAll(os);
+
+        // Phase breakdown: where the latency of each transaction
+        // class went on this channel (means; Σ phases == total).
+        if (const ChannelAttribution *att = mc.attribution()) {
+            for (unsigned c = 0; c < numLatClasses; ++c) {
+                const auto &cl = att->cls(static_cast<LatClass>(c));
+                const std::string cn =
+                    latClassName(static_cast<LatClass>(c));
+                addF(g, cn + "_samples", "completed transactions",
+                     [&cl] { return static_cast<double>(
+                                 cl.samples); });
+                addF(g, cn + "_total_ns", "mean end-to-end latency",
+                     [&cl] {
+                         return cl.samples
+                             ? static_cast<double>(cl.totalTicks)
+                                   / static_cast<double>(cl.samples)
+                                   / static_cast<double>(ticksPerNs)
+                             : 0.0;
+                     });
+                for (unsigned p = 0; p < numLatPhases; ++p) {
+                    addF(g,
+                         cn + "_"
+                             + latPhaseName(static_cast<LatPhase>(p))
+                             + "_ns",
+                         "mean time in this phase",
+                         [&cl, p] {
+                             return cl.samples
+                                 ? static_cast<double>(
+                                       cl.phaseTicks[p])
+                                       / static_cast<double>(
+                                             cl.samples)
+                                       / static_cast<double>(
+                                             ticksPerNs)
+                                 : 0.0;
+                         });
+                }
+                if (include_histograms) {
+                    for (const stats::Histogram &h : cl.hist)
+                        addBorrowed(g, h);
+                }
+            }
+        }
+
+        if (include_histograms) {
+            addBorrowed(g, mc.readLatencyHist());
+            addBorrowed(g, mc.demandLatencyHist());
+            addBorrowed(g, mc.prefHitLatencyHist());
+            addBorrowed(g, mc.writeLatencyHist());
+        }
     }
+
+    return groups;
 }
 
 RunResult
@@ -392,6 +472,38 @@ System::collect(Tick window_ticks) const
     r.kernel.poolHighWater = ps.highWater;
     r.kernel.poolCapacity = ps.capacity;
     r.kernel.hostEventSeconds = hostEventSeconds;
+
+    if (cfg.attribution) {
+        r.attribution.enabled = true;
+        r.attribution.channels.resize(controllers.size());
+        for (size_t ch = 0; ch < controllers.size(); ++ch) {
+            const ChannelAttribution *att =
+                controllers[ch]->attribution();
+            if (!att)
+                continue;
+            ChannelBreakdown &cb = r.attribution.channels[ch];
+            for (unsigned c = 0; c < numLatClasses; ++c) {
+                const auto &acc = att->cls(static_cast<LatClass>(c));
+                cb.cls[c].samples = acc.samples;
+                cb.cls[c].totalTicks = acc.totalTicks;
+                for (unsigned p = 0; p < numLatPhases; ++p)
+                    cb.cls[c].phaseTicks[p] = acc.phaseTicks[p];
+            }
+            r.attribution.total.merge(cb);
+        }
+        for (const auto &c : cores) {
+            CoreCycleBreakdown cc;
+            cc.windowTicks = window_ticks;
+            cc.stall[0] = c->robStallTicks();
+            cc.stall[1] = c->lqStallTicks();
+            cc.stall[2] = c->sqStallTicks();
+            cc.stall[3] = c->mshrStallTicks();
+            if (const CoreStallAttribution *sa =
+                    c->stallAttribution())
+                cc.att = *sa;
+            r.attribution.cores.push_back(cc);
+        }
+    }
     return r;
 }
 

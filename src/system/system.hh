@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/stats.hh"
 #include "cpu/core.hh"
 #include "dram/dimm.hh"
 #include "mc/address_map.hh"
+#include "mc/attribution.hh"
 #include "mc/controller.hh"
 #include "sim/event_queue.hh"
 #include "system/config.hh"
@@ -93,6 +95,10 @@ struct RunResult
     /** Prefetch hits whose fill was still in flight when demanded. */
     std::uint64_t latePrefetchHits = 0;
 
+    /** Latency-phase / stall-cycle attribution (enabled flag inside;
+     *  empty unless SystemConfig::attribution was set). */
+    AttributionResult attribution;
+
     /** Simulated instructions over the whole run (warm-up included),
      *  all cores — the numerator of the sim-rate metric. */
     std::uint64_t runInsts = 0;
@@ -156,6 +162,35 @@ class System
      */
     void report(std::ostream &os) const;
 
+    /**
+     * One statistics group plus ownership of its stats.  StatGroup
+     * itself is non-owning (components normally register member
+     * stats); the report and JSON emitters instead build their derived
+     * Formulas on the heap and keep them alive here.
+     */
+    struct OwnedStatGroup
+    {
+        explicit OwnedStatGroup(std::string n) : group(std::move(n)) {}
+
+        stats::StatGroup group;
+        std::vector<std::unique_ptr<stats::Stat>> owned;
+    };
+
+    /**
+     * Every statistic of the last run as named groups: per-core, L2,
+     * per-channel, and — when attribution is enabled — the phase
+     * breakdown and stall accounting.  The single source both
+     * report() and the --stats-json dump are derived from, so the two
+     * can never drift apart.  Groups reference live components; they
+     * must not outlive the System.
+     *
+     * @p include_histograms additionally registers the per-channel
+     * latency (and per-phase breakdown) histograms — wanted by the
+     * JSON dump, too verbose for the text report.
+     */
+    std::vector<OwnedStatGroup>
+    buildStatGroups(bool include_histograms = false) const;
+
     // Component access for tests and custom experiments.
     EventQueue &eventQueue() { return eq; }
     MemController &controller(unsigned i) { return *controllers.at(i); }
@@ -175,6 +210,10 @@ class System
 
     SystemConfig cfg;
     EventQueue eq;
+
+    /** Completion hand-off between controllers and cores when
+     *  attribution is enabled (see mc/attribution.hh). */
+    AttributionHub attHub;
 
     /** Host wall time of the last run()'s event-driven phases. */
     double hostEventSeconds = 0.0;

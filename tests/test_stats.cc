@@ -144,6 +144,46 @@ TEST(StatsTest, QuantileUnderAndOverflow)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);  // resolves to hi
 }
 
+TEST(StatsTest, QuantileZeroReportsFirstPopulatedBucketEdge)
+{
+    // p == 0 is the distribution's minimum: the low edge of the
+    // first populated bucket, not the histogram's lower bound.  A
+    // distribution concentrated in one bucket must span that
+    // bucket's own [low, high) range across p, never interpolate
+    // against the empty space below it.
+    Histogram h("h", "dist", 0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(55.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 60.0);
+
+    // With underflows present, the minimum resolves to lo.
+    h.sample(-5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(StatsTest, QuantileZeroWithOnlyOverflows)
+{
+    Histogram h("h", "dist", 0.0, 100.0, 10);
+    h.sample(500.0);
+    h.sample(900.0);
+    // Every sample is beyond hi; the whole quantile range collapses
+    // onto the high bound.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(StatsDeathTest, HistogramRejectsDegenerateGeometry)
+{
+    EXPECT_DEATH(Histogram("h", "dist", 0.0, 100.0, 0),
+                 "at least one bucket");
+    EXPECT_DEATH(Histogram("h", "dist", 50.0, 50.0, 10),
+                 "degenerate");
+    EXPECT_DEATH(Histogram("h", "dist", 60.0, 50.0, 10),
+                 "degenerate");
+}
+
 TEST(StatsTest, HistogramMergeAccumulates)
 {
     Histogram a("a", "dist", 0.0, 100.0, 10);

@@ -402,6 +402,93 @@ TEST(TelemetryTest, CsvFormatHasHeaderAndMatchingRows)
     EXPECT_EQ(rows, sampler.records());
 }
 
+TEST(TelemetryTest, FinishEmitsPendingBoundariesExactlyOnce)
+{
+    // The run stops the moment the instruction target is hit, which
+    // is almost never an epoch multiple: boundaries the event loop
+    // did not reach are caught up by finish() — once.  A second
+    // finish() must be a no-op, not a duplicate tail record.
+    System sys(smallConfig(SystemConfig::fbdAp()));
+    std::ostringstream os;
+    const Tick epoch = TelemetrySampler::parseTimeSpec("700ns");
+    TelemetrySampler sampler(sys, epoch, os);
+    sampler.start();
+    sys.run();
+
+    const Tick simTime = sys.eventQueue().now();
+    ASSERT_GT(simTime, epoch);
+    // With a 700ns epoch the stop point falls mid-epoch here; the
+    // assertion below is what makes this a boundary test at all.
+    ASSERT_NE(simTime % epoch, 0u);
+
+    sampler.finish();
+    const std::uint64_t after_first = sampler.records();
+    EXPECT_EQ(after_first, simTime / epoch);
+
+    sampler.finish();
+    EXPECT_EQ(sampler.records(), after_first);
+
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    Tick last_t_ns = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        const std::size_t at = line.find("\"t_ns\":");
+        ASSERT_NE(at, std::string::npos);
+        last_t_ns = static_cast<Tick>(
+            std::atoll(line.c_str() + at + 7));
+    }
+    EXPECT_EQ(lines, after_first);
+    // The final record sits on the last epoch boundary inside the
+    // run, never beyond the simulated time.
+    EXPECT_EQ(last_t_ns, (simTime / epoch) * epoch / 1000);
+}
+
+TEST(TelemetryTest, CsvAndJsonlAgreeOnRecordCount)
+{
+    // Identical runs sampled through the two formats must produce the
+    // same number of data rows — the format changes the encoding,
+    // never the epoch bookkeeping.
+    const SystemConfig cfg = smallConfig(SystemConfig::fbdAp());
+    const Tick epoch = TelemetrySampler::parseTimeSpec("500ns");
+
+    std::ostringstream csv_os;
+    {
+        System sys(cfg);
+        TelemetrySampler sampler(sys, epoch, csv_os,
+                                 TelemetrySampler::Format::Csv);
+        sampler.start();
+        sys.run();
+        sampler.finish();
+    }
+    std::ostringstream jsonl_os;
+    std::uint64_t jsonl_records = 0;
+    {
+        System sys(cfg);
+        TelemetrySampler sampler(sys, epoch, jsonl_os,
+                                 TelemetrySampler::Format::Jsonl);
+        sampler.start();
+        sys.run();
+        sampler.finish();
+        jsonl_records = sampler.records();
+    }
+
+    auto countLines = [](const std::string &text) {
+        std::istringstream is(text);
+        std::string line;
+        std::size_t n = 0;
+        while (std::getline(is, line))
+            ++n;
+        return n;
+    };
+    // CSV carries one header line on top of the data rows.
+    EXPECT_EQ(countLines(csv_os.str()),
+              countLines(jsonl_os.str()) + 1);
+    EXPECT_EQ(countLines(jsonl_os.str()), jsonl_records);
+    EXPECT_GT(jsonl_records, 0u);
+}
+
 // ---------------------------------------------------------------- //
 // Determinism guard: observers must not change results             //
 // ---------------------------------------------------------------- //

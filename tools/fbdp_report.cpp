@@ -1,0 +1,144 @@
+/**
+ * @file
+ * fbdp-report — diff two runs' stats/telemetry/benchmark JSON and
+ * gate on regressions.
+ *
+ *   fbdp-report baseline.json candidate.json [options]
+ *
+ * Both inputs are arbitrary JSON documents: a `fbdpsim --stats-json`
+ * dump, a google-benchmark results file, a telemetry summary.  Every
+ * numeric leaf is compared under a relative tolerance; array elements
+ * carrying a "name" member (google-benchmark's layout) are keyed by
+ * that name so reordering does not produce spurious diffs.
+ *
+ * Options:
+ *   --tol <frac>          relative tolerance, default 0.10 (10%)
+ *   --key-tol <key>=<f>   per-key tolerance override (exact path)
+ *   --only <substr>       compare only paths containing <substr>
+ *                         (repeatable; OR semantics)
+ *   --ignore <substr>     skip paths containing <substr> (repeatable)
+ *   --higher-better       only a drop beyond tolerance is a regression
+ *   --lower-better        only a rise beyond tolerance is a regression
+ *   --strict              keys present on one side only also fail
+ *   --verbose             list every changed key and missing key
+ *
+ * Exit status: 0 no regression, 1 regression found, 2 usage or IO
+ * error — so CI can tell "the metric got worse" apart from "the
+ * comparison never happened".
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/json.hh"
+#include "system/rundiff.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " <baseline.json> <candidate.json>"
+        << " [options]\n"
+        << "  --tol <frac>         relative tolerance (default 0.10)\n"
+        << "  --key-tol <key>=<f>  per-key tolerance override\n"
+        << "  --only <substr>      compare only matching paths"
+        << " (repeatable)\n"
+        << "  --ignore <substr>    skip matching paths (repeatable)\n"
+        << "  --higher-better      only drops are regressions\n"
+        << "  --lower-better       only rises are regressions\n"
+        << "  --strict             one-sided keys also fail\n"
+        << "  --verbose            list all changes and missing keys\n"
+        << "exit: 0 ok, 1 regression, 2 usage/IO error\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fbdp;
+
+    std::string pathA, pathB;
+    DiffOptions opt;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs an argument\n";
+                std::exit(usage(argv[0]));
+            }
+            return argv[++i];
+        };
+        if (arg == "--tol") {
+            opt.tolerance = std::strtod(need("--tol"), nullptr);
+        } else if (arg == "--key-tol") {
+            const std::string kv = need("--key-tol");
+            const auto eq = kv.rfind('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::cerr << "--key-tol wants <key>=<frac>, got '"
+                          << kv << "'\n";
+                return usage(argv[0]);
+            }
+            opt.keyTolerances[kv.substr(0, eq)] =
+                std::strtod(kv.c_str() + eq + 1, nullptr);
+        } else if (arg == "--only") {
+            opt.only.push_back(need("--only"));
+        } else if (arg == "--ignore") {
+            opt.ignore.push_back(need("--ignore"));
+        } else if (arg == "--higher-better") {
+            opt.direction = DiffDirection::HigherBetter;
+        } else if (arg == "--lower-better") {
+            opt.direction = DiffDirection::LowerBetter;
+        } else if (arg == "--strict") {
+            opt.strict = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage(argv[0]);
+        } else if (pathA.empty()) {
+            pathA = arg;
+        } else if (pathB.empty()) {
+            pathB = arg;
+        } else {
+            std::cerr << "unexpected extra operand '" << arg << "'\n";
+            return usage(argv[0]);
+        }
+    }
+    if (pathA.empty() || pathB.empty())
+        return usage(argv[0]);
+
+    const json::ParseResult a = json::parseFile(pathA);
+    if (!a.ok()) {
+        std::cerr << pathA << ": " << a.error << "\n";
+        return 2;
+    }
+    const json::ParseResult b = json::parseFile(pathB);
+    if (!b.ok()) {
+        std::cerr << pathB << ": " << b.error << "\n";
+        return 2;
+    }
+
+    const DiffReport report = diffRuns(flattenJson(a.value),
+                                       flattenJson(b.value), opt);
+
+    std::cout << "A: " << pathA << "\nB: " << pathB << "\n";
+    printDiffReport(report, std::cout, verbose);
+
+    if (report.failed()) {
+        std::cout << "RESULT: REGRESSION\n";
+        return 1;
+    }
+    std::cout << "RESULT: OK\n";
+    return 0;
+}

@@ -73,8 +73,8 @@ main(int argc, char **argv)
             for (const auto &mix : group) {
                 SystemConfig c = prep(SystemConfig::fbdAp());
                 c.regionLines = v.k;
-                c.ambEntries = v.entries;
-                c.ambWays = v.ways;
+                c.ambPrefetch.entries = v.entries;
+                c.ambPrefetch.ways = v.ways;
                 cells.push_back({std::move(c), &mix});
             }
         }

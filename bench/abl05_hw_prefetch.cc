@@ -33,6 +33,7 @@ main(int argc, char **argv)
         c.swPrefetch = false;  // isolate the hardware prefetcher
         c.hwPrefetch = hw;
         if (!ap) {
+            c.ambPrefetch.policy = "none";
             c.apEnable = false;
             c.scheme = Interleave::Cacheline;
         }

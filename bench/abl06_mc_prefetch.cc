@@ -42,7 +42,7 @@ main(int argc, char **argv)
     auto mcp = [&] {
         SystemConfig c = SystemConfig::fbdBase();
         c.scheme = Interleave::MultiCacheline;
-        c.mcPrefetch = true;
+        c.mcBufPrefetch.policy = "region";
         return prep(c);
     };
 

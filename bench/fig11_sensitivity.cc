@@ -72,8 +72,8 @@ main(int argc, char **argv)
             for (const auto &mix : mixesFor(cores)) {
                 SystemConfig c = prep(SystemConfig::fbdAp());
                 c.regionLines = v.k;
-                c.ambEntries = v.entries;
-                c.ambWays = v.ways;
+                c.ambPrefetch.entries = v.entries;
+                c.ambPrefetch.ways = v.ways;
                 s += runMix(c, mix).ipcSum();
             }
             s /= n;

@@ -34,6 +34,7 @@ main(int argc, char **argv)
         c.measureInsts = quick ? 80'000 : 200'000;
         c.swPrefetch = sp;
         if (!ap) {
+            c.ambPrefetch.policy = "none";
             c.apEnable = false;
             c.scheme = Interleave::Cacheline;
         }

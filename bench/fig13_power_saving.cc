@@ -72,8 +72,8 @@ main(int argc, char **argv)
                     runMix(prep(SystemConfig::fbdBase()), mix);
                 SystemConfig c = prep(SystemConfig::fbdAp());
                 c.regionLines = v.k;
-                c.ambEntries = v.entries;
-                c.ambWays = v.ways;
+                c.ambPrefetch.entries = v.entries;
+                c.ambPrefetch.ways = v.ways;
                 RunResult ap = runMix(c, mix);
                 rel += pm.relativeDynamicEnergy(
                     ap.ops, ap.totalInsts(), base.ops,

@@ -32,9 +32,11 @@ main(int argc, char **argv)
     if (argc > 3)
         cfg.regionLines = static_cast<unsigned>(std::atoi(argv[3]));
     if (argc > 4)
-        cfg.ambEntries = static_cast<unsigned>(std::atoi(argv[4]));
+        cfg.ambPrefetch.entries =
+            static_cast<unsigned>(std::atoi(argv[4]));
     if (argc > 5)
-        cfg.ambWays = static_cast<unsigned>(std::atoi(argv[5]));
+        cfg.ambPrefetch.ways =
+            static_cast<unsigned>(std::atoi(argv[5]));
     cfg.warmupInsts = insts / 4;
     cfg.measureInsts = insts;
     applyInstsFromEnv(cfg);
@@ -46,8 +48,10 @@ main(int argc, char **argv)
     RunResult r = sys.run();
 
     std::cout << "mix " << mix.name << "  K=" << cfg.regionLines
-              << " entries=" << cfg.ambEntries
-              << " ways=" << (cfg.ambWays ? cfg.ambWays : 999) << "\n\n";
+              << " entries=" << cfg.ambPrefetch.entries
+              << " ways="
+              << (cfg.ambPrefetch.ways ? cfg.ambPrefetch.ways : 999)
+              << "\n\n";
 
     std::uint64_t ins = 0, ev = 0, conv = 0, pf = 0, hits = 0,
                   reads = 0;

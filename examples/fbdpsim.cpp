@@ -14,6 +14,15 @@
  *   --k N             prefetch region lines      (default 4)
  *   --entries N       AMB-cache lines            (default 64)
  *   --ways N          associativity, 0 = full    (default 0)
+ *   --amb-policy SPEC prefetch policy of the AMB attachment point,
+ *                     "policy[,key=value]..." over the PolicyRegistry
+ *                     names (region | dspatch | indram | none) with
+ *                     keys degree / entries / ways / throttle, e.g.
+ *                     --amb-policy=region,degree=4 (= also accepted
+ *                     as a separate argument)
+ *   --mc-policy SPEC  same, for the controller-buffer attachment
+ *                     point; disables the AMB point unless
+ *                     --amb-policy is also given
  *   --interleave I    line | multiline | page    (default by machine)
  *   --insts N         measured instructions      (default 400000)
  *   --warmup N        timed warm-up instructions (default insts/4)
@@ -90,12 +99,22 @@ main(int argc, char **argv)
              entries = 64, ways = 0;
     std::uint64_t seed = 1;
     std::string trace_out, trace_filter, telemetry_out, epoch_spec,
-        stats_json;
+        stats_json, amb_policy, mc_policy;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
             usage(argv[0]);
         return argv[++i];
+    };
+    // "--amb-policy=SPEC" form: specs contain commas, which shells
+    // and scripts prefer to keep glued to the option.
+    auto eqValue = [](const char *arg, const char *opt,
+                      std::string &out) {
+        const std::size_t n = std::strlen(opt);
+        if (std::strncmp(arg, opt, n) != 0 || arg[n] != '=')
+            return false;
+        out = arg + n + 1;
+        return true;
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -116,6 +135,14 @@ main(int argc, char **argv)
             entries = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--ways"))
             ways = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(a, "--amb-policy"))
+            amb_policy = need(i);
+        else if (eqValue(a, "--amb-policy", amb_policy))
+            ;
+        else if (!std::strcmp(a, "--mc-policy"))
+            mc_policy = need(i);
+        else if (eqValue(a, "--mc-policy", mc_policy))
+            ;
         else if (!std::strcmp(a, "--interleave"))
             interleave = need(i);
         else if (!std::strcmp(a, "--insts"))
@@ -176,8 +203,32 @@ main(int argc, char **argv)
     cfg.dimmsPerChannel = dimms;
     cfg.dataRate = rate;
     cfg.regionLines = k;
-    cfg.ambEntries = entries;
-    cfg.ambWays = ways;
+    cfg.ambPrefetch.entries = entries;
+    cfg.ambPrefetch.ways = ways;
+    if (!mc_policy.empty()) {
+        cfg.mcBufPrefetch =
+            PrefetchConfig::parse(mc_policy, cfg.mcBufPrefetch);
+        // The two attachment points are exclusive; an explicit MC
+        // policy takes the slot unless the AMB one is also explicit.
+        if (amb_policy.empty() && cfg.mcBufPrefetch.enabled()) {
+            cfg.ambPrefetch.policy = "none";
+            cfg.apEnable = false;
+        }
+    }
+    if (!amb_policy.empty()) {
+        cfg.ambPrefetch =
+            PrefetchConfig::parse(amb_policy, cfg.ambPrefetch);
+        cfg.apEnable = cfg.ambPrefetch.enabled();
+        // Prefetching needs a region-preserving interleaving; switch
+        // the plain presets over unless --interleave overrode it.
+        if (cfg.ambPrefetch.enabled() && interleave.empty()
+            && cfg.scheme == Interleave::Cacheline)
+            cfg.scheme = Interleave::MultiCacheline;
+    }
+    if (!mc_policy.empty() && cfg.mcBufPrefetch.enabled()
+        && interleave.empty()
+        && cfg.scheme == Interleave::Cacheline)
+        cfg.scheme = Interleave::MultiCacheline;
     cfg.vrl = vrl;
     cfg.swPrefetch = !no_sp;
     cfg.refreshEnable = !no_refresh;
@@ -261,7 +312,9 @@ main(int argc, char **argv)
     t.addRow({"ACT/PRE pairs", std::to_string(r.ops.actPre)});
     t.addRow({"column accesses", std::to_string(r.ops.cas())});
     t.addRow({"refresh commands", std::to_string(r.ops.refresh)});
-    if (cfg.apEnable) {
+    const bool pf_on = cfg.resolvedAmbPrefetch().enabled()
+        || cfg.resolvedMcPrefetch().enabled();
+    if (pf_on) {
         t.addRow({"AMB-cache hits", std::to_string(r.ambHits)});
         t.addRow({"prefetch coverage", fmtPct(r.coverage)});
         t.addRow({"prefetch efficiency", fmtPct(r.efficiency)});
@@ -283,9 +336,28 @@ main(int argc, char **argv)
     latRow("prefetch-hit read", r.latPrefHit);
     latRow("write", r.latWrite);
     lat.print(std::cout);
-    if (cfg.apEnable || cfg.mcPrefetch) {
+    if (pf_on) {
         std::cout << "late prefetch hits (fill still in flight): "
                   << r.latePrefetchHits << "\n";
+
+        // The per-policy quality block: what the policy fetched and
+        // what became of it (mirrors --stats-json's "prefetch").
+        std::cout << "\n";
+        TextTable pf({"prefetch policy: " + r.prefetch.policy,
+                      "value"});
+        pf.addRow({"lines issued", std::to_string(r.prefetch.issued)});
+        pf.addRow({"useful (hits)", std::to_string(r.prefetch.hits)});
+        pf.addRow({"late hits", std::to_string(r.prefetch.lateHits)});
+        pf.addRow({"dropped candidates",
+                   std::to_string(r.prefetch.dropped)});
+        pf.addRow({"evicted unused",
+                   std::to_string(r.prefetch.evictedUnused)});
+        pf.addRow({"invalidated unused",
+                   std::to_string(r.prefetch.invalidatedUnused)});
+        pf.addRow({"accuracy", fmtPct(r.efficiency)});
+        pf.addRow({"lateness", fmtPct(r.prefetch.lateness())});
+        pf.addRow({"pollution", fmtPct(r.prefetch.pollution())});
+        pf.print(std::cout);
     }
 
     if (r.attribution.enabled) {

@@ -52,8 +52,8 @@ main(int argc, char **argv)
             for (unsigned ways : {1u, 4u, 0u}) {
                 SystemConfig c = prep(SystemConfig::fbdAp());
                 c.regionLines = k;
-                c.ambEntries = entries;
-                c.ambWays = ways;
+                c.ambPrefetch.entries = entries;
+                c.ambPrefetch.ways = ways;
                 RunResult r = runMix(c, mix);
                 const double rel = pm.relativeDynamicEnergy(
                     r.ops, r.totalInsts(), base.ops,

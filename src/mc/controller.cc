@@ -25,6 +25,12 @@ MemController::MemController(std::string name, EventQueue *event_queue,
         fbdp_assert(cfg.fbd, "AMB prefetching requires FB-DIMM");
         table = std::make_unique<PrefetchTable>(
             cfg.nDimms, cfg.ambEntries, cfg.ambWays);
+        PolicyParams pp;
+        pp.regionLines = cfg.regionLines;
+        pp.degree = cfg.apDegree;
+        pp.nDimms = cfg.nDimms;
+        pp.throttle = cfg.apThrottle;
+        apPol = PolicyRegistry::instance().make(cfg.apPolicy, pp);
     }
     if (cfg.mcPrefetch) {
         fbdp_assert(!cfg.apEnable,
@@ -32,6 +38,13 @@ MemController::MemController(std::string name, EventQueue *event_queue,
         // One pseudo-DIMM: the buffer sits at the controller.
         mcBuf = std::make_unique<PrefetchTable>(1, cfg.mcEntries,
                                                 cfg.mcWays);
+        PolicyParams pp;
+        pp.regionLines = cfg.regionLines;
+        pp.degree = cfg.mcDegree;
+        pp.nDimms = cfg.nDimms;  // a DIMM-aware policy still sees
+                                 // the real topology
+        pp.throttle = cfg.mcThrottle;
+        mcPol = PolicyRegistry::instance().make(cfg.mcPolicy, pp);
     }
     if (cfg.refreshEnable) {
         refreshPending.assign(cfg.nDimms, false);
@@ -175,25 +188,28 @@ MemController::push(TransPtr t)
                 table->countRead();
                 if (table->peek(d, t->lineAddr)) {
                     t->phase = TransPhase::AmbHit;
+                    apPol->onHit(policyAccess(t.get(), now));
                 } else {
-                    // Region fetch: make the K-1 neighbours visible in
-                    // the tag mirror immediately so later reads to the
-                    // region coalesce onto this fetch.
+                    // Ask the policy what should ride this fetch; the
+                    // accepted candidates become visible in the tag
+                    // mirror immediately so later reads to the same
+                    // lines coalesce onto this fetch.
                     t->phase = TransPhase::NeedActivate;
-                    t->groupLines = cfg.regionLines;
-                    table->insertGroup(d, t->coord.regionBase,
-                                       cfg.regionLines, t->lineAddr);
+                    emitCandidates(t.get(), /*convert=*/false);
                 }
             } else {
                 t->phase = TransPhase::NeedActivate;
             }
         } else {
             // Writes invalidate any stale prefetched copy.
-            if (table->invalidate(d, t->lineAddr) && trc.tr
-                && trc.tr->want(trace::Kind::Write)) {
-                trc.tr->instant(trc.amb[d], "inval", now,
-                                trace::Kind::Write, t->coreId,
-                                t->lineAddr);
+            bool was_used = false;
+            if (table->invalidate(d, t->lineAddr, &was_used)) {
+                apPol->onEvict(d, t->lineAddr, was_used);
+                if (trc.tr && trc.tr->want(trace::Kind::Write)) {
+                    trc.tr->instant(trc.amb[d], "inval", now,
+                                    trace::Kind::Write, t->coreId,
+                                    t->lineAddr);
+                }
             }
             t->phase = TransPhase::NeedActivate;
         }
@@ -202,18 +218,20 @@ MemController::push(TransPtr t)
             mcBuf->countRead();
             if (mcBuf->peek(0, t->lineAddr)) {
                 t->phase = TransPhase::McHit;
+                mcPol->onHit(policyAccess(t.get(), now));
             } else {
                 t->phase = TransPhase::NeedActivate;
-                t->groupLines = cfg.regionLines;
-                mcBuf->insertGroup(0, t->coord.regionBase,
-                                   cfg.regionLines, t->lineAddr);
+                emitCandidates(t.get(), /*convert=*/false);
             }
         } else {
-            if (mcBuf->invalidate(0, t->lineAddr) && trc.tr
-                && trc.tr->want(trace::Kind::Write)) {
-                trc.tr->instant(trc.amb[0], "inval", now,
-                                trace::Kind::Write, t->coreId,
-                                t->lineAddr);
+            bool was_used = false;
+            if (mcBuf->invalidate(0, t->lineAddr, &was_used)) {
+                mcPol->onEvict(0, t->lineAddr, was_used);
+                if (trc.tr && trc.tr->want(trace::Kind::Write)) {
+                    trc.tr->instant(trc.amb[0], "inval", now,
+                                    trace::Kind::Write, t->coreId,
+                                    t->lineAddr);
+                }
             }
             t->phase = TransPhase::NeedActivate;
         }
@@ -360,6 +378,80 @@ MemController::recomputeOpenPagePhase(Transaction *t)
     }
 }
 
+PrefetchAccess
+MemController::policyAccess(const Transaction *t, Tick now) const
+{
+    PrefetchAccess a;
+    a.lineAddr = t->lineAddr;
+    a.regionBase = t->coord.regionBase;
+    a.regionLines = cfg.regionLines;
+    a.dimm = t->coord.dimm;
+    a.coreId = t->coreId;
+    a.swPrefetch = t->swPrefetch;
+    a.now = now;
+    a.linkUtil = now
+        ? static_cast<double>(northBusyTicks())
+            / static_cast<double>(now)
+        : 0.0;
+    return a;
+}
+
+void
+MemController::emitCandidates(Transaction *t, bool convert)
+{
+    PrefetchTable *tbl = cfg.apEnable ? table.get() : mcBuf.get();
+    PrefetchPolicy *pol = cfg.apEnable ? apPol.get() : mcPol.get();
+    // The AMB cache is per DIMM; the MC buffer is one pseudo-DIMM.
+    const unsigned td = cfg.apEnable ? t->coord.dimm : 0u;
+
+    t->nPfLines = 0;
+    t->groupLines = 1;
+    if (!pol)
+        return;
+
+    const PrefetchAccess acc = policyAccess(t, eq->now());
+    CandidateList cands(pol->degree());
+    if (convert)
+        pol->onConvert(acc, cands);
+    else
+        pol->onMiss(acc, cands);
+
+    unsigned dropped = cands.dropped();
+
+    const double throttle = pol->params().throttle;
+    if (throttle > 0.0 && acc.linkUtil > throttle) {
+        // The return link is past its configured ceiling: demand
+        // traffic needs every frame, so every candidate is shed.
+        tbl->countDropped(dropped + cands.size());
+        return;
+    }
+
+    const Addr region_end = t->coord.regionBase
+        + static_cast<Addr>(cfg.regionLines) * lineBytes;
+    for (unsigned i = 0; i < cands.size(); ++i) {
+        const Addr la = cands[i];
+        // A candidate rides the demand's activation, so it must be an
+        // in-region line other than the demanded one, once.
+        bool ok = la != t->lineAddr && la >= t->coord.regionBase
+            && la < region_end && (la % lineBytes) == 0;
+        for (unsigned j = 0; ok && j < t->nPfLines; ++j)
+            if (t->pfLines[j] == la)
+                ok = false;
+        if (!ok || t->nPfLines >= Transaction::maxPrefetchLines) {
+            ++dropped;
+            continue;
+        }
+        AmbCache::Evicted ev;
+        tbl->insertCandidate(td, la, &ev);
+        if (ev.valid)
+            pol->onEvict(td, ev.lineAddr, ev.used);
+        t->pfLines[t->nPfLines++] = la;
+    }
+    if (dropped)
+        tbl->countDropped(dropped);
+    t->groupLines = 1 + t->nPfLines;
+}
+
 void
 MemController::convertHitToMiss(Transaction *t)
 {
@@ -370,9 +462,7 @@ MemController::convertHitToMiss(Transaction *t)
                         trace::Kind::Prefetch, t->coreId, t->lineAddr);
     }
     t->phase = TransPhase::NeedActivate;
-    t->groupLines = cfg.regionLines;
-    table->insertGroup(t->coord.dimm, t->coord.regionBase,
-                       cfg.regionLines, t->lineAddr);
+    emitCandidates(t, /*convert=*/true);
 }
 
 bool
@@ -414,9 +504,12 @@ MemController::issueAmbHit(Transaction *t, Tick now)
     // Timeliness: the prefetch covered this read, but its fill had
     // not reached the AMB SRAM when the demand command arrived.
     const bool late = line->readyAt > arrive;
-    if (late)
+    if (late) {
         ++nLatePfHits;
+        table->countLateHit();
+    }
     table->countHit();
+    line->used = true;
     t->ambServed = true;
     t->phase = TransPhase::WaitData;
     if (trc.tr) {
@@ -437,7 +530,7 @@ MemController::issueMcHit(Transaction *t, Tick now)
 {
     AmbCache::Line *line = mcBuf->peek(0, t->lineAddr);
     if (!line) {
-        // Evicted before service: refetch the region.
+        // Evicted before service: ask the policy again.
         ++nHitConversions;
         if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
             trc.tr->instant(trc.amb[0], "kill", now,
@@ -445,9 +538,7 @@ MemController::issueMcHit(Transaction *t, Tick now)
                             t->lineAddr);
         }
         t->phase = TransPhase::NeedActivate;
-        t->groupLines = cfg.regionLines;
-        mcBuf->insertGroup(0, t->coord.regionBase, cfg.regionLines,
-                           t->lineAddr);
+        emitCandidates(t, /*convert=*/true);
         return false;
     }
     if (line->readyAt == AmbCache::fillPending)
@@ -466,9 +557,12 @@ MemController::issueMcHit(Transaction *t, Tick now)
     }
     ++nMcHits;
     const bool late = line->readyAt > now;
-    if (late)
+    if (late) {
         ++nLatePfHits;
+        mcBuf->countLateHit();
+    }
     mcBuf->countHit();
+    line->used = true;
     t->ambServed = true;
     t->phase = TransPhase::WaitData;
     if (trc.tr) {
@@ -581,12 +675,34 @@ MemController::issueRead(Transaction *t, Tick now)
 
     BusTracker &data_bus = cfg.fbd ? dimmBus[d] : sharedBus;
 
-    // Column accesses in demanded-line-first, wrap-around order.
-    const unsigned k = (cfg.apEnable || cfg.mcPrefetch)
-        ? cfg.regionLines
-        : 1;
+    // Column accesses in demanded-line-first, wrap-around order: the
+    // accepted candidates (stored in buffer-insertion order) are
+    // sorted by forward region distance from the demanded line, so
+    // the pipelined CAS stream walks the region critical-word-first
+    // exactly as the hardware group fetch does.
+    const unsigned k = cfg.regionLines ? cfg.regionLines : 1;
     const unsigned demand_off = static_cast<unsigned>(
         (t->lineAddr - t->coord.regionBase) / lineBytes);
+    const unsigned npf = t->nPfLines;
+    unsigned order[Transaction::maxPrefetchLines];
+    for (unsigned i = 0; i < npf; ++i)
+        order[i] = i;
+    auto wrap_dist = [&](unsigned idx) -> unsigned {
+        const unsigned off = static_cast<unsigned>(
+            (t->pfLines[idx] - t->coord.regionBase) / lineBytes);
+        return (off + k - demand_off) % k;
+    };
+    // Stable insertion sort: npf <= 15, nearly sorted in practice.
+    for (unsigned i = 1; i < npf; ++i) {
+        const unsigned v = order[i];
+        const unsigned dv = wrap_dist(v);
+        unsigned j = i;
+        while (j > 0 && wrap_dist(order[j - 1]) > dv) {
+            order[j] = order[j - 1];
+            --j;
+        }
+        order[j] = v;
+    }
 
     for (unsigned i = 0; i < n; ++i) {
         const Tick cas = arrive + static_cast<Tick>(i) * tm.casGap();
@@ -602,13 +718,12 @@ MemController::issueRead(Transaction *t, Tick now)
             t->phase = TransPhase::WaitData;
             finish(t, ready);
         } else {
-            const unsigned off = (demand_off + i) % k;
-            const Addr la = t->coord.regionBase
-                + static_cast<Addr>(off) * lineBytes;
+            const Addr la = t->pfLines[order[i - 1]];
             if (cfg.apEnable) {
                 // AMB prefetching: fills stay behind the AMB and
                 // never touch the channel.
                 table->resolveFill(d, la, d_start + tm.burst);
+                apPol->onFill(d, la, d_start + tm.burst);
                 if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
                     trc.tr->instant(trc.amb[d], "fill",
                                     d_start + tm.burst,
@@ -628,6 +743,7 @@ MemController::issueRead(Transaction *t, Tick now)
                 }
                 nChannelBytes += lineBytes;
                 mcBuf->resolveFill(0, la, ready);
+                mcPol->onFill(0, la, ready);
                 if (trc.tr && trc.tr->want(trace::Kind::Prefetch)) {
                     trc.tr->instant(trc.amb[0], "fill", ready,
                                     trace::Kind::Prefetch, t->coreId,

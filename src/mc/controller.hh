@@ -39,6 +39,7 @@
 #include "mc/attribution.hh"
 #include "mc/link.hh"
 #include "mc/transaction.hh"
+#include "prefetch/policy.hh"
 #include "prefetch/prefetch_table.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace.hh"
@@ -74,6 +75,10 @@ struct ControllerConfig
     unsigned ambWays = 0;        ///< 0 = fully associative
     bool apFullLatency = false;  ///< APFL analysis mode (Fig. 9)
     bool apOnSwPrefetch = true;  ///< sw-prefetch reads use the AP path
+    /** PolicyRegistry key selecting what rides the group fetch. */
+    std::string apPolicy = "region";
+    unsigned apDegree = 0;       ///< 0 = the policy's default
+    double apThrottle = 0.0;     ///< link-util ceiling; 0 = off
 
     // --- controller-level prefetching (the comparison class the
     //     paper discusses in Section 6, after Lin/Reinhardt/Burger:
@@ -82,6 +87,9 @@ struct ControllerConfig
     bool mcPrefetch = false;
     unsigned mcEntries = 256;    ///< MC prefetch-buffer lines
     unsigned mcWays = 0;
+    std::string mcPolicy = "region";
+    unsigned mcDegree = 0;
+    double mcThrottle = 0.0;
 };
 
 /** One logic-channel memory controller with its DRAM devices. */
@@ -205,6 +213,21 @@ class MemController
     /** MC-buffer mirror when mcPrefetch is enabled. */
     const PrefetchTable *mcBuffer() const { return mcBuf.get(); }
 
+    /** Candidate policy of the AMB attachment point (nullptr unless
+     *  apEnable). */
+    const PrefetchPolicy *ambPolicy() const { return apPol.get(); }
+
+    /** Candidate policy of the MC buffer (nullptr unless mcPrefetch). */
+    const PrefetchPolicy *mcBufferPolicy() const { return mcPol.get(); }
+
+    /** The active prefetch policy at either attachment point, or
+     *  nullptr when no prefetching is configured. */
+    const PrefetchPolicy *
+    activePolicy() const
+    {
+        return apPol ? apPol.get() : mcPol.get();
+    }
+
     std::uint64_t ambHits() const { return nAmbHits; }
     std::uint64_t mcHits() const { return nMcHits; }
 
@@ -243,6 +266,18 @@ class MemController
     /** AMB-hit line disappeared: fall back to a region fetch. */
     void convertHitToMiss(Transaction *t);
 
+    /** The demand access as the policy sees it. */
+    PrefetchAccess policyAccess(const Transaction *t, Tick now) const;
+
+    /**
+     * Run the active policy on @p t's demand miss (or hit
+     * conversion), vet the emitted candidates (in-region, not the
+     * demanded line, no duplicates, throttle), insert the accepted
+     * ones into the buffer in emission order and record them on the
+     * transaction for the group fetch.  Sets groupLines.
+     */
+    void emitCandidates(Transaction *t, bool convert);
+
     /** Retire @p t at @p ready: stats, callback, storage cleanup. */
     void finish(Transaction *t, Tick ready);
 
@@ -263,6 +298,9 @@ class MemController
 
     std::unique_ptr<PrefetchTable> table;
     std::unique_ptr<PrefetchTable> mcBuf;  ///< one pseudo-DIMM
+
+    std::unique_ptr<PrefetchPolicy> apPol; ///< AMB candidate policy
+    std::unique_ptr<PrefetchPolicy> mcPol; ///< MC-buffer policy
 
     /** One finished transaction waiting for its data to arrive. */
     struct Completion

@@ -87,13 +87,15 @@ AmbCache::insert(Addr line_addr, Tick ready_at)
     victim->lineAddr = line_addr;
     victim->readyAt = ready_at;
     victim->valid = true;
+    victim->used = false;
     victim->fifoSeq = nextSeq++;
     ++nInsertions;
     return victim;
 }
 
 AmbCache::Line *
-AmbCache::insertIfAbsent(Addr line_addr, Tick ready_at)
+AmbCache::insertIfAbsent(Addr line_addr, Tick ready_at,
+                         Evicted *evicted)
 {
     const unsigned set = setOf(line_addr);
     Line *base = &lines[static_cast<size_t>(set) * nWays];
@@ -116,21 +118,29 @@ AmbCache::insertIfAbsent(Addr line_addr, Tick ready_at)
     if (!victim) {
         victim = oldest;
         ++nEvictions;
+        if (evicted) {
+            evicted->lineAddr = victim->lineAddr;
+            evicted->used = victim->used;
+            evicted->valid = true;
+        }
     }
 
     victim->lineAddr = line_addr;
     victim->readyAt = ready_at;
     victim->valid = true;
+    victim->used = false;
     victim->fifoSeq = nextSeq++;
     ++nInsertions;
     return victim;
 }
 
 bool
-AmbCache::invalidate(Addr line_addr)
+AmbCache::invalidate(Addr line_addr, bool *was_used)
 {
     if (Line *l = lookup(line_addr)) {
         l->valid = false;
+        if (was_used)
+            *was_used = l->used;
         return true;
     }
     return false;
@@ -139,8 +149,10 @@ AmbCache::invalidate(Addr line_addr)
 void
 AmbCache::reset()
 {
-    for (auto &l : lines)
+    for (auto &l : lines) {
         l.valid = false;
+        l.used = false;
+    }
     nextSeq = 0;
     nInsertions = 0;
     nEvictions = 0;

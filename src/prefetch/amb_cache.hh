@@ -43,7 +43,17 @@ class AmbCache
         Addr lineAddr = 0;      ///< line-aligned physical address
         Tick readyAt = 0;       ///< data present in the SRAM from here
         bool valid = false;
+        bool used = false;      ///< serviced at least one demand read
         std::uint64_t fifoSeq = 0;
+    };
+
+    /** What insertIfAbsent() displaced, for pollution accounting and
+     *  policy on-evict training. */
+    struct Evicted
+    {
+        Addr lineAddr = 0;
+        bool used = false;
+        bool valid = false;  ///< false: nothing was displaced
     };
 
     /**
@@ -67,13 +77,17 @@ class AmbCache
     /**
      * Insert only when absent: a resident entry keeps its FIFO age
      * and readiness (true FIFO retires by first insertion).  Single
-     * set scan — the group-fetch hot path.
+     * set scan — the group-fetch hot path.  When a valid victim is
+     * displaced and @p evicted is non-null, its identity and used
+     * bit are reported there.
      * @return the resident or inserted line.
      */
-    Line *insertIfAbsent(Addr line_addr, Tick ready_at);
+    Line *insertIfAbsent(Addr line_addr, Tick ready_at,
+                         Evicted *evicted = nullptr);
 
-    /** Drop a line if present. @return true if something was dropped. */
-    bool invalidate(Addr line_addr);
+    /** Drop a line if present. @return true if something was dropped;
+     *  @p was_used (optional) reports the dropped line's used bit. */
+    bool invalidate(Addr line_addr, bool *was_used = nullptr);
 
     /** Invalidate everything. */
     void reset();

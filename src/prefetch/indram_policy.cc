@@ -1,0 +1,103 @@
+/**
+ * @file
+ * InDramPolicy implementation: per-DIMM stride detection over line
+ * indices, next-line fallback, region-clamped emission.
+ */
+
+#include "prefetch/indram_policy.hh"
+
+namespace fbdp {
+
+InDramPolicy::InDramPolicy(const PolicyParams &params)
+    : PrefetchPolicy(params),
+      dimms(params.nDimms ? params.nDimms : 1)
+{
+}
+
+unsigned
+InDramPolicy::defaultDegree() const
+{
+    // The paper's in-DRAM prefetcher is shallow: it fills the row
+    // buffer's immediate neighbourhood, not the whole region.
+    const unsigned k1 = prm.regionLines > 1 ? prm.regionLines - 1 : 0;
+    return k1 < 2 ? k1 : 2;
+}
+
+void
+InDramPolicy::reset()
+{
+    for (auto &d : dimms)
+        d = DimmState{};
+}
+
+void
+InDramPolicy::train(const PrefetchAccess &access)
+{
+    DimmState &d = dimms[access.dimm % dimms.size()];
+    const Addr line = lineIndex(access.lineAddr);
+    if (d.primed) {
+        const std::int64_t delta =
+            static_cast<std::int64_t>(line) -
+            static_cast<std::int64_t>(d.lastLine);
+        if (delta != 0 && delta == d.stride) {
+            if (d.confidence < confThreshold)
+                ++d.confidence;
+        } else {
+            d.stride = delta;
+            d.confidence = delta != 0 ? 1 : 0;
+        }
+    }
+    d.lastLine = line;
+    d.primed = true;
+}
+
+void
+InDramPolicy::predict(const PrefetchAccess &access, CandidateList &out)
+{
+    const DimmState &d = dimms[access.dimm % dimms.size()];
+    const Addr region_end =
+        access.regionBase +
+        static_cast<Addr>(access.regionLines) * lineBytes;
+    const unsigned deg = degree();
+
+    const std::int64_t step =
+        (d.confidence >= confThreshold && d.stride != 0) ? d.stride : 1;
+
+    Addr line = lineIndex(access.lineAddr);
+    for (unsigned i = 0; i < deg; ++i) {
+        const std::int64_t next =
+            static_cast<std::int64_t>(line) + step;
+        if (next < 0)
+            break;
+        const Addr la = static_cast<Addr>(next) * lineBytes;
+        // Clamp to the demand's region: a group fetch cannot reach
+        // across an activation boundary.
+        if (la < access.regionBase || la >= region_end)
+            break;
+        out.add(la);
+        line = static_cast<Addr>(next);
+    }
+}
+
+void
+InDramPolicy::onMiss(const PrefetchAccess &access, CandidateList &out)
+{
+    train(access);
+    predict(access, out);
+}
+
+void
+InDramPolicy::onHit(const PrefetchAccess &access)
+{
+    // The DIMM sees the access stream whether or not the buffer
+    // serviced it; hits keep the stride detector in sync.
+    train(access);
+}
+
+void
+InDramPolicy::onConvert(const PrefetchAccess &access, CandidateList &out)
+{
+    predict(access, out);
+}
+
+} // namespace fbdp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * In-DRAM next-line/stride prefetching in the spirit of arxiv
+ * 2105.10427: the predictor lives at the DIMM, sees only the stream
+ * of demand line addresses arriving there, and prefetches into the
+ * DIMM-side buffer.  Modelled as one stride detector per DIMM, with a
+ * next-line fallback while confidence is low.  Candidates are clamped
+ * to the demand's region (the FB-DIMM group fetch can only widen the
+ * in-flight activation, not open new rows).
+ */
+
+#ifndef FBDP_PREFETCH_INDRAM_POLICY_HH
+#define FBDP_PREFETCH_INDRAM_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/policy.hh"
+
+namespace fbdp {
+
+class InDramPolicy : public PrefetchPolicy
+{
+  public:
+    explicit InDramPolicy(const PolicyParams &params);
+
+    const char *name() const override { return "indram"; }
+
+    void onMiss(const PrefetchAccess &access, CandidateList &out) override;
+    void onHit(const PrefetchAccess &access) override;
+    void onConvert(const PrefetchAccess &access,
+                   CandidateList &out) override;
+    void reset() override;
+
+    /** Confidence needed before the stride pattern is trusted. */
+    static constexpr int confThreshold = 2;
+
+  private:
+    struct DimmState
+    {
+        Addr lastLine = 0;      ///< last demand line index seen
+        std::int64_t stride = 0;///< last observed line-index delta
+        int confidence = 0;
+        bool primed = false;    ///< lastLine holds a real address
+    };
+
+    void train(const PrefetchAccess &access);
+    void predict(const PrefetchAccess &access, CandidateList &out);
+
+    std::vector<DimmState> dimms;
+
+  protected:
+    unsigned defaultDegree() const override;
+};
+
+} // namespace fbdp
+
+#endif // FBDP_PREFETCH_INDRAM_POLICY_HH

@@ -26,16 +26,28 @@ void
 PrefetchTable::insertGroup(unsigned dimm_idx, Addr region_base,
                            unsigned region_lines, Addr demanded)
 {
-    AmbCache &c = caches.at(dimm_idx);
     for (unsigned i = 0; i < region_lines; ++i) {
         Addr la = region_base + static_cast<Addr>(i) * lineBytes;
         if (la == demanded)
             continue;
-        // A line that is already resident keeps its FIFO age; true
-        // FIFO retires by first insertion, not by re-fetch.
-        c.insertIfAbsent(la, AmbCache::fillPending);
-        ++nPrefetches;
+        insertCandidate(dimm_idx, la);
     }
+}
+
+void
+PrefetchTable::insertCandidate(unsigned dimm_idx, Addr line_addr,
+                               AmbCache::Evicted *evicted)
+{
+    // A line that is already resident keeps its FIFO age; true FIFO
+    // retires by first insertion, not by re-fetch.
+    AmbCache::Evicted ev;
+    caches.at(dimm_idx).insertIfAbsent(line_addr,
+                                       AmbCache::fillPending, &ev);
+    ++nPrefetches;
+    if (ev.valid && !ev.used)
+        ++nEvictedUnused;
+    if (evicted)
+        *evicted = ev;
 }
 
 void
@@ -48,11 +60,17 @@ PrefetchTable::resolveFill(unsigned dimm_idx, Addr line_addr,
 }
 
 bool
-PrefetchTable::invalidate(unsigned dimm_idx, Addr line_addr)
+PrefetchTable::invalidate(unsigned dimm_idx, Addr line_addr,
+                          bool *was_used)
 {
-    if (!caches.at(dimm_idx).invalidate(line_addr))
+    bool used = false;
+    if (!caches.at(dimm_idx).invalidate(line_addr, &used))
         return false;
     ++nWriteInval;
+    if (!used)
+        ++nInvalUnused;
+    if (was_used)
+        *was_used = used;
     return true;
 }
 
@@ -71,6 +89,10 @@ PrefetchTable::resetStats()
     nHits = 0;
     nPrefetches = 0;
     nWriteInval = 0;
+    nLateHits = 0;
+    nDropped = 0;
+    nEvictedUnused = 0;
+    nInvalUnused = 0;
 }
 
 } // namespace fbdp

@@ -60,18 +60,39 @@ class PrefetchTable
     void insertGroup(unsigned dimm_idx, Addr region_base,
                      unsigned region_lines, Addr demanded);
 
+    /**
+     * Record one policy-emitted prefetch candidate (the per-line core
+     * of insertGroup): counts a prefetch issue even when the line is
+     * already resident — a resident line keeps its FIFO age — and
+     * reports a displaced victim through @p evicted so the owning
+     * controller can train its policy and account pollution (an
+     * unused victim is counted here).
+     */
+    void insertCandidate(unsigned dimm_idx, Addr line_addr,
+                         AmbCache::Evicted *evicted = nullptr);
+
     /** Set the SRAM arrival time of one previously inserted line. */
     void resolveFill(unsigned dimm_idx, Addr line_addr, Tick ready_at);
 
     /** A write to @p line_addr invalidates any stale prefetch.
-     *  @return true iff a resident line was dropped. */
-    bool invalidate(unsigned dimm_idx, Addr line_addr);
+     *  An unused dropped line counts as pollution.
+     *  @return true iff a resident line was dropped; @p was_used
+     *  (optional) reports its used bit. */
+    bool invalidate(unsigned dimm_idx, Addr line_addr,
+                    bool *was_used = nullptr);
 
     /** Count one demand read (the coverage denominator). */
     void countRead() { ++nReads; }
 
     /** Count one read actually serviced from an AMB cache. */
     void countHit() { ++nHits; }
+
+    /** Count a hit whose fill had not completed when demanded. */
+    void countLateHit() { ++nLateHits; }
+
+    /** Count @p n policy candidates the controller refused (out of
+     *  region, duplicate, over degree, or throttled). */
+    void countDropped(unsigned n = 1) { nDropped += n; }
 
     std::uint64_t reads() const { return nReads; }
     std::uint64_t prefetchHits() const { return nHits; }
@@ -97,6 +118,16 @@ class PrefetchTable
     }
     std::uint64_t prefetchesIssued() const { return nPrefetches; }
     std::uint64_t writeInvalidations() const { return nWriteInval; }
+    std::uint64_t lateHits() const { return nLateHits; }
+    std::uint64_t droppedCandidates() const { return nDropped; }
+
+    /** Prefetched lines displaced by capacity pressure before any
+     *  demand used them. */
+    std::uint64_t evictedUnused() const { return nEvictedUnused; }
+
+    /** Prefetched lines killed by a write before any demand used
+     *  them. */
+    std::uint64_t invalidatedUnused() const { return nInvalUnused; }
 
     /** #prefetch_hit / #read. */
     double coverage() const
@@ -115,6 +146,25 @@ class PrefetchTable
             : 0.0;
     }
 
+    /** Late hits / hits: how often a covering prefetch was not yet
+     *  in the SRAM when demanded (lower is better). */
+    double lateness() const
+    {
+        return nHits
+            ? static_cast<double>(nLateHits)
+                / static_cast<double>(nHits)
+            : 0.0;
+    }
+
+    /** Unused displaced or invalidated lines / prefetches issued. */
+    double pollution() const
+    {
+        return nPrefetches
+            ? static_cast<double>(nEvictedUnused + nInvalUnused)
+                / static_cast<double>(nPrefetches)
+            : 0.0;
+    }
+
     void reset();
     void resetStats();
 
@@ -125,6 +175,10 @@ class PrefetchTable
     std::uint64_t nHits = 0;
     std::uint64_t nPrefetches = 0;
     std::uint64_t nWriteInval = 0;
+    std::uint64_t nLateHits = 0;
+    std::uint64_t nDropped = 0;
+    std::uint64_t nEvictedUnused = 0;
+    std::uint64_t nInvalUnused = 0;
 };
 
 } // namespace fbdp

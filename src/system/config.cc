@@ -30,24 +30,79 @@ SystemConfig::fbdAp()
     SystemConfig c;
     c.fbd = true;
     c.scheme = Interleave::MultiCacheline;
-    c.apEnable = true;
     c.regionLines = 4;
+    // The canned FBD-AP spec; the deprecated mirrors are kept in sync
+    // so legacy readers observe the same values.
+    c.ambPrefetch = PrefetchConfig{"region", 0, 64, 0, 0.0};
+    c.apEnable = true;
     c.ambEntries = 64;
     c.ambWays = 0;
     return c;
 }
 
+namespace {
+
+/** One-time deprecation nag for the pre-PrefetchConfig fields. */
+void
+warnLegacyPrefetchFields(const char *which)
+{
+    static bool warned = false;
+    if (warned)
+        return;
+    warned = true;
+    warn("SystemConfig::%s and its companion fields are deprecated; "
+         "set SystemConfig::ambPrefetch / mcBufPrefetch (e.g. "
+         "PrefetchConfig::parse(\"region,entries=64\")) instead",
+         which);
+}
+
+} // namespace
+
+PrefetchConfig
+SystemConfig::resolvedAmbPrefetch() const
+{
+    PrefetchConfig ap = ambPrefetch;
+    if (!ap.enabled() && apEnable) {
+        // Only the legacy mirror enables it: honour the legacy
+        // buffer-shape fields as the paper's region scheme.
+        warnLegacyPrefetchFields("apEnable");
+        ap.policy = "region";
+        ap.entries = ambEntries;
+        ap.ways = ambWays;
+        ap.degree = 0;
+        ap.throttle = 0.0;
+    }
+    return ap;
+}
+
+PrefetchConfig
+SystemConfig::resolvedMcPrefetch() const
+{
+    PrefetchConfig mp = mcBufPrefetch;
+    if (!mp.enabled() && mcPrefetch) {
+        warnLegacyPrefetchFields("mcPrefetch");
+        mp.policy = "region";
+        mp.entries = mcEntries;
+        mp.ways = mcWays;
+        mp.degree = 0;
+        mp.throttle = 0.0;
+    }
+    return mp;
+}
+
 ControllerConfig
 SystemConfig::controllerConfig() const
 {
-    if (apEnable) {
+    const PrefetchConfig ap = resolvedAmbPrefetch();
+    const PrefetchConfig mp = resolvedMcPrefetch();
+    if (ap.enabled()) {
         fbdp_assert(fbd, "AMB prefetching requires FB-DIMM");
         fbdp_assert(scheme != Interleave::Cacheline,
                     "AMB prefetching needs multi-cacheline or page "
                     "interleaving (Section 3.2)");
     }
-    if (mcPrefetch) {
-        fbdp_assert(!apEnable,
+    if (mp.enabled()) {
+        fbdp_assert(!ap.enabled(),
                     "mcPrefetch and apEnable are exclusive");
         fbdp_assert(scheme != Interleave::Cacheline,
                     "controller prefetching needs region-preserving "
@@ -70,14 +125,20 @@ SystemConfig::controllerConfig() const
     cc.writeDrainLow = writeDrainLow;
     cc.refreshEnable = refreshEnable;
     cc.openPage = (scheme == Interleave::Page);
-    cc.apEnable = apEnable;
     cc.regionLines = regionLines;
-    cc.ambEntries = ambEntries;
-    cc.ambWays = ambWays;
     cc.apFullLatency = apFullLatency;
-    cc.mcPrefetch = mcPrefetch;
-    cc.mcEntries = mcEntries;
-    cc.mcWays = mcWays;
+    cc.apEnable = ap.enabled();
+    cc.apPolicy = ap.policy;
+    cc.apDegree = ap.degree;
+    cc.apThrottle = ap.throttle;
+    cc.ambEntries = ap.entries;
+    cc.ambWays = ap.ways;
+    cc.mcPrefetch = mp.enabled();
+    cc.mcPolicy = mp.policy;
+    cc.mcDegree = mp.degree;
+    cc.mcThrottle = mp.throttle;
+    cc.mcEntries = mp.entries;
+    cc.mcWays = mp.ways;
     return cc;
 }
 

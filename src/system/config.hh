@@ -22,6 +22,7 @@
 #include "common/types.hh"
 #include "mc/address_map.hh"
 #include "mc/controller.hh"
+#include "system/prefetch_config.hh"
 
 namespace fbdp {
 
@@ -62,15 +63,32 @@ struct SystemConfig
     unsigned writeDrainLow = 4;    ///< stop draining here
     bool refreshEnable = true;     ///< DDR2 auto-refresh (tREFI/tRFC)
 
-    // --- AMB prefetching ---
-    bool apEnable = false;
-    unsigned regionLines = 4;     ///< K
-    unsigned ambEntries = 64;
-    unsigned ambWays = 0;         ///< 0 = fully associative
+    // --- DRAM-level prefetching ---
+    /**
+     * The AMB attachment point: policy + buffer shape of the per-DIMM
+     * AMB caches.  The FBD-AP preset is the canned spec
+     * "region,entries=64,ways=0"; select other policies with e.g.
+     * PrefetchConfig::parse("dspatch,degree=2").
+     */
+    PrefetchConfig ambPrefetch;
+    /**
+     * The controller attachment point: prefetches cross the channel
+     * into a buffer at the MC (the Section 6 comparison class).
+     * Mutually exclusive with ambPrefetch.
+     */
+    PrefetchConfig mcBufPrefetch{"none", 0, 256, 0, 0.0};
+
+    unsigned regionLines = 4;     ///< K of the address interleaving
     bool apFullLatency = false;   ///< APFL analysis mode
 
-    // --- extensions beyond the paper's default machine ---
-    /** Controller-level prefetching comparator (Section 6 class). */
+    // --- deprecated prefetch mirrors ---
+    // Honoured (with a one-time warning) only while the nested block
+    // above is untouched; new code should set ambPrefetch /
+    // mcBufPrefetch instead.  Presets keep them in sync so existing
+    // readers observe the same values.
+    bool apEnable = false;
+    unsigned ambEntries = 64;
+    unsigned ambWays = 0;         ///< 0 = fully associative
     bool mcPrefetch = false;
     unsigned mcEntries = 256;
     unsigned mcWays = 0;
@@ -102,6 +120,17 @@ struct SystemConfig
 
     /** FB-DIMM with AMB prefetching ("FBD-AP", Section 5.2 default). */
     static SystemConfig fbdAp();
+
+    /**
+     * ambPrefetch with the deprecated mirrors folded in: when the
+     * nested block is disabled but the legacy apEnable flag is set,
+     * the legacy fields are honoured as a region policy (and a
+     * one-time deprecation warning is emitted).
+     */
+    PrefetchConfig resolvedAmbPrefetch() const;
+
+    /** mcBufPrefetch with the deprecated mirrors folded in. */
+    PrefetchConfig resolvedMcPrefetch() const;
 
     /** Derived controller configuration for one logic channel. */
     ControllerConfig controllerConfig() const;

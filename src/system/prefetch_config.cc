@@ -1,0 +1,91 @@
+#include "system/prefetch_config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "prefetch/policy.hh"
+
+namespace fbdp {
+
+PrefetchConfig
+PrefetchConfig::parse(const std::string &spec, const PrefetchConfig &dflt)
+{
+    PrefetchConfig pc = dflt;
+
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+
+        if (first) {
+            first = false;
+            if (tok.empty())
+                fatal("empty prefetch policy spec");
+            pc.policy = tok;
+            continue;
+        }
+        if (tok.empty())
+            continue;
+
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            fatal("prefetch spec token '%s' is not key=value "
+                  "(spec '%s')", tok.c_str(), spec.c_str());
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (val.empty())
+            fatal("prefetch spec key '%s' has no value (spec '%s')",
+                  key.c_str(), spec.c_str());
+
+        if (key == "degree") {
+            pc.degree = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (key == "entries") {
+            pc.entries = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (key == "ways") {
+            pc.ways = static_cast<unsigned>(
+                std::strtoul(val.c_str(), nullptr, 10));
+        } else if (key == "throttle") {
+            pc.throttle = std::strtod(val.c_str(), nullptr);
+            if (pc.throttle < 0.0 || pc.throttle > 1.0)
+                fatal("prefetch throttle %s outside [0,1]",
+                      val.c_str());
+        } else {
+            fatal("unknown prefetch spec key '%s' (spec '%s'; known: "
+                  "degree, entries, ways, throttle)",
+                  key.c_str(), spec.c_str());
+        }
+    }
+
+    if (!PolicyRegistry::instance().has(pc.policy)) {
+        std::string known;
+        for (const auto &n : PolicyRegistry::instance().names()) {
+            if (!known.empty())
+                known += ", ";
+            known += n;
+        }
+        fatal("unknown prefetch policy '%s' in spec '%s' "
+              "(registered: %s)",
+              pc.policy.c_str(), spec.c_str(), known.c_str());
+    }
+    return pc;
+}
+
+std::string
+PrefetchConfig::spec() const
+{
+    std::string s = policy;
+    if (degree)
+        s += csprintf(",degree=%u", degree);
+    s += csprintf(",entries=%u,ways=%u", entries, ways);
+    if (throttle > 0.0)
+        s += csprintf(",throttle=%g", throttle);
+    return s;
+}
+
+} // namespace fbdp

@@ -350,6 +350,85 @@ ResultSchema::latencyPercentiles()
 }
 
 const ResultSchema &
+ResultSchema::prefetchStats()
+{
+    static const ResultSchema schema = [] {
+        ResultSchema s;
+        s.add(Column{"config", "", "machine configuration name",
+                     ColumnKind::Text, [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.config);
+                     }});
+        s.add(Column{"mix", "", "workload mix name", ColumnKind::Text,
+                     [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.mix);
+                     }});
+        s.add(Column{"seed", "", "RNG seed of this repeat",
+                     ColumnKind::Count, [](const SweepRow &r) {
+                         return ColumnValue::ofCount(r.seed);
+                     }});
+        s.add(Column{"policy", "", "active PolicyRegistry name",
+                     ColumnKind::Text, [](const SweepRow &r) {
+                         return ColumnValue::ofText(
+                             r.result.prefetch.policy);
+                     }});
+
+        auto count =
+            [](std::string name, std::string desc,
+               std::uint64_t PrefetchRunStats::*m) {
+                return Column{std::move(name), "ops", std::move(desc),
+                              ColumnKind::Count,
+                              [m](const SweepRow &r) {
+                                  return ColumnValue::ofCount(
+                                      r.result.prefetch.*m);
+                              }};
+            };
+        s.add(count("issued", "prefetch candidate lines fetched",
+                    &PrefetchRunStats::issued));
+        s.add(count("hits", "demand reads served by a prefetch",
+                    &PrefetchRunStats::hits));
+        s.add(count("late_hits",
+                    "hits whose fill was still in flight",
+                    &PrefetchRunStats::lateHits));
+        s.add(count("dropped", "candidates shed before issue",
+                    &PrefetchRunStats::dropped));
+        s.add(count("evicted_unused",
+                    "prefetched lines displaced before any use",
+                    &PrefetchRunStats::evictedUnused));
+        s.add(count("invalidated_unused",
+                    "prefetched lines written before any use",
+                    &PrefetchRunStats::invalidatedUnused));
+
+        auto real = [](std::string name, std::string desc,
+                       std::function<double(const SweepRow &)> f) {
+            return Column{std::move(name), "ratio", std::move(desc),
+                          ColumnKind::Real,
+                          [f = std::move(f)](const SweepRow &r) {
+                              return ColumnValue::ofReal(f(r));
+                          }};
+        };
+        s.add(real("coverage", "prefetch hits / reads",
+                   [](const SweepRow &r) {
+                       return r.result.coverage;
+                   }));
+        s.add(real("accuracy", "prefetch hits / prefetches issued",
+                   [](const SweepRow &r) {
+                       return r.result.efficiency;
+                   }));
+        s.add(real("lateness", "late hits / hits",
+                   [](const SweepRow &r) {
+                       return r.result.prefetch.lateness();
+                   }));
+        s.add(real("pollution",
+                   "unused displaced or invalidated / issued",
+                   [](const SweepRow &r) {
+                       return r.result.prefetch.pollution();
+                   }));
+        return s;
+    }();
+    return schema;
+}
+
+const ResultSchema &
 ResultSchema::latencyBreakdown()
 {
     static const ResultSchema schema = [] {

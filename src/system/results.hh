@@ -107,6 +107,16 @@ class ResultSchema
     static const ResultSchema &latencyPercentiles();
 
     /**
+     * The prefetch-policy quality block (RunResult::prefetch): the
+     * active policy's name plus the issued / hit / late-hit / dropped
+     * / pollution counters and their derived ratios, aggregated over
+     * channels.  The table head-to-head policy comparisons are built
+     * from; a separate table because sweepRows() is a byte-for-byte
+     * compatibility surface.
+     */
+    static const ResultSchema &prefetchStats();
+
+    /**
      * Per-class latency-phase breakdown (the attribution layer's
      * aggregate over all channels): per transaction class, the sample
      * count, the mean end-to-end latency and the mean time spent in

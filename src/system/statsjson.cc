@@ -15,6 +15,8 @@ writeRunStatsJson(const System &sys, const SweepRow &row,
        << ResultSchema::latencyPercentiles().jsonRow(row) << ",\n";
     os << "  \"kernel\": "
        << ResultSchema::kernelStats().jsonRow(row) << ",\n";
+    os << "  \"prefetch\": "
+       << ResultSchema::prefetchStats().jsonRow(row) << ",\n";
     os << "  \"breakdown\": "
        << ResultSchema::latencyBreakdown().jsonRow(row) << ",\n";
 

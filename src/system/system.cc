@@ -322,6 +322,23 @@ System::buildStatGroups(bool include_histograms) const
             const PrefetchTable *t = mc.prefetchTable();
             return t ? t->efficiency() : 0.0;
         });
+        addF(g, "pf_dropped", "candidates shed before issue", [&mc] {
+            const PrefetchTable *t = mc.prefetchTable()
+                ? mc.prefetchTable() : mc.mcBuffer();
+            return t ? static_cast<double>(t->droppedCandidates())
+                     : 0.0;
+        });
+        addF(g, "pf_lateness", "late prefetch hits / hits", [&mc] {
+            const PrefetchTable *t = mc.prefetchTable()
+                ? mc.prefetchTable() : mc.mcBuffer();
+            return t ? t->lateness() : 0.0;
+        });
+        addF(g, "pf_pollution",
+             "unused displaced or invalidated / issued", [&mc] {
+                 const PrefetchTable *t = mc.prefetchTable()
+                     ? mc.prefetchTable() : mc.mcBuffer();
+                 return t ? t->pollution() : 0.0;
+             });
 
         // Phase breakdown: where the latency of each transaction
         // class went on this channel (means; Σ phases == total).
@@ -399,15 +416,21 @@ System::collect(Tick window_ticks) const
             * static_cast<double>(mc->readLatSamples());
         lat_samples += mc->readLatSamples();
         r.ops += mc->dramOps();
-        if (const PrefetchTable *t = mc->prefetchTable()) {
+        const PrefetchTable *t = mc->prefetchTable()
+            ? mc->prefetchTable() : mc->mcBuffer();
+        if (t) {
             pf_reads += t->reads();
             pf_hits += t->prefetchHits();
             pf_issued += t->prefetchesIssued();
-        } else if (const PrefetchTable *t2 = mc->mcBuffer()) {
-            pf_reads += t2->reads();
-            pf_hits += t2->prefetchHits();
-            pf_issued += t2->prefetchesIssued();
+            r.prefetch.issued += t->prefetchesIssued();
+            r.prefetch.hits += t->prefetchHits();
+            r.prefetch.lateHits += t->lateHits();
+            r.prefetch.dropped += t->droppedCandidates();
+            r.prefetch.evictedUnused += t->evictedUnused();
+            r.prefetch.invalidatedUnused += t->invalidatedUnused();
         }
+        if (const PrefetchPolicy *pol = mc->activePolicy())
+            r.prefetch.policy = pol->name();
         r.ambHits += mc->mcHits();  // MC hits fill the same role
     }
     if (lat_samples)

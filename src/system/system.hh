@@ -67,6 +67,42 @@ struct LatencyClassStats
     std::uint64_t samples = 0;
 };
 
+/**
+ * Prefetch-policy outcome of one run, aggregated over every channel's
+ * active attachment point (AMB caches or the MC buffer).  The typed
+ * block behind ResultSchema::prefetchStats() and the --stats-json
+ * "prefetch" section; head-to-head policy comparisons read these.
+ */
+struct PrefetchRunStats
+{
+    std::string policy = "none";     ///< active PolicyRegistry name
+    std::uint64_t issued = 0;        ///< candidate lines fetched
+    std::uint64_t hits = 0;          ///< demand reads served by one
+    std::uint64_t lateHits = 0;      ///< hits with the fill in flight
+    std::uint64_t dropped = 0;       ///< candidates shed before issue
+    std::uint64_t evictedUnused = 0; ///< displaced before any use
+    std::uint64_t invalidatedUnused = 0; ///< written before any use
+
+    /** Late hits / hits (lower is better). */
+    double
+    lateness() const
+    {
+        return hits ? static_cast<double>(lateHits)
+                / static_cast<double>(hits)
+                    : 0.0;
+    }
+
+    /** Unused displaced or invalidated lines / prefetches issued. */
+    double
+    pollution() const
+    {
+        return issued
+            ? static_cast<double>(evictedUnused + invalidatedUnused)
+                / static_cast<double>(issued)
+            : 0.0;
+    }
+};
+
 /** Measured outcome of one simulation. */
 struct RunResult
 {
@@ -82,6 +118,7 @@ struct RunResult
     std::uint64_t ambHits = 0;
     double coverage = 0.0;              ///< #prefetch_hit / #read
     double efficiency = 0.0;            ///< #prefetch_hit / #prefetch
+    PrefetchRunStats prefetch;          ///< per-policy quality block
     DramOpCounts ops;                   ///< for the power model
 
     std::uint64_t l2Misses = 0;

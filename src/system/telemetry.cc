@@ -107,6 +107,29 @@ TelemetrySampler::TelemetrySampler(System &system, Tick epoch_ticks,
                          / static_cast<double>(reads)
                      : 0.0;
              });
+    addGauge("prefetch.issued",
+             "prefetch candidate lines fetched this epoch, all "
+             "channels",
+             [this] { return pfScr.dIssued; });
+    addGauge("prefetch.pollution",
+             "cumulative unused displaced or invalidated lines / "
+             "prefetches issued, all channels", [this] {
+                 std::uint64_t bad = 0, issued = 0;
+                 for (unsigned c = 0; c < sys.numControllers(); ++c) {
+                     const MemController &mc = sys.controller(c);
+                     const PrefetchTable *t = mc.prefetchTable()
+                         ? mc.prefetchTable() : mc.mcBuffer();
+                     if (!t)
+                         continue;
+                     bad += t->evictedUnused()
+                         + t->invalidatedUnused();
+                     issued += t->prefetchesIssued();
+                 }
+                 return issued
+                     ? static_cast<double>(bad)
+                         / static_cast<double>(issued)
+                     : 0.0;
+             });
 
     for (size_t i = 0; i < coreScr.size(); ++i) {
         const CoreScratch *scr = &coreScr[i];
@@ -209,6 +232,17 @@ TelemetrySampler::takeSample(Tick at)
         coreScr[i].dInsts =
             guardedDelta(sys.core(static_cast<unsigned>(i)).insts(),
                          coreScr[i].prevInsts);
+    {
+        std::uint64_t issued = 0;
+        for (unsigned c = 0; c < sys.numControllers(); ++c) {
+            const MemController &mc = sys.controller(c);
+            const PrefetchTable *t = mc.prefetchTable()
+                ? mc.prefetchTable() : mc.mcBuffer();
+            if (t)
+                issued += t->prefetchesIssued();
+        }
+        pfScr.dIssued = guardedDelta(issued, pfScr.prevIssued);
+    }
 
     const double tNs =
         static_cast<double>(at) / static_cast<double>(ticksPerNs);

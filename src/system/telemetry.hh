@@ -115,6 +115,14 @@ class TelemetrySampler
         double dInsts = 0.0;
     };
 
+    /** Delta baseline / per-epoch value of the prefetch gauges,
+     *  summed over every channel's active attachment point. */
+    struct PrefetchScratch
+    {
+        std::uint64_t prevIssued = 0;
+        double dIssued = 0.0;
+    };
+
     void fire();
     void takeSample(Tick at);
     void addGauge(const std::string &gauge_name,
@@ -135,6 +143,7 @@ class TelemetrySampler
     std::vector<ChannelPrev> chPrev;
     std::vector<ChannelCur> chCur;
     std::vector<CoreScratch> coreScr;
+    PrefetchScratch pfScr;
 
     stats::StatGroup group{"telemetry"};
     std::vector<std::unique_ptr<stats::Formula>> formulas;

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Invisibility test of the policy refactor: routing the paper's
+ * region-group prefetch through the PrefetchPolicy interface must
+ * leave simulation results bit-for-bit identical.  The golden numbers
+ * below were produced by the pre-refactor controller (prefetch logic
+ * inlined in push()/issueRead()); RegionPolicy behind the plug-in
+ * interface must reproduce every one of them exactly — including the
+ * doubles, compared with EXPECT_EQ on purpose.
+ *
+ * Also pins the config-resolution equivalences: the FBD-AP preset,
+ * the explicit nested spec and the deprecated legacy mirrors must all
+ * build the same machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+#include "workload/mixes.hh"
+
+using namespace fbdp;
+
+namespace {
+
+SystemConfig
+golden()
+{
+    SystemConfig c = SystemConfig::fbdAp();
+    c.benchmarks = mixByName("2C-1").benches;
+    c.warmupInsts = 10'000;
+    c.measureInsts = 40'000;
+    c.seed = 7;
+    return c;
+}
+
+void
+expectGolden(const RunResult &r)
+{
+    EXPECT_EQ(r.reads, 1017u);
+    EXPECT_EQ(r.writes, 375u);
+    EXPECT_EQ(r.ambHits, 665u);
+    EXPECT_EQ(r.measuredTicks, 6045046u);
+    EXPECT_EQ(r.ops.actPre, 723u);
+    EXPECT_EQ(r.ops.cas(), 1781u);
+    EXPECT_EQ(r.ops.refresh, 6u);
+    EXPECT_EQ(r.latePrefetchHits, 89u);
+    // Bit-exact doubles: the refactor must not reorder a single
+    // floating-point operation in the measured path.
+    EXPECT_EQ(r.coverage, 0.65388397246804331);
+    EXPECT_EQ(r.efficiency, 0.62795089707271012);
+    EXPECT_EQ(r.avgReadLatencyNs, 59.847098522167492);
+    EXPECT_EQ(r.ipcSum(), 3.3015877794809168);
+    ASSERT_EQ(r.insts.size(), 2u);
+    EXPECT_EQ(r.insts[0], 39794u);
+    EXPECT_EQ(r.insts[1], 40039u);
+    EXPECT_EQ(r.ipc[0], 1.6457277579029175);
+    EXPECT_EQ(r.ipc[1], 1.6558600215779995);
+}
+
+} // namespace
+
+TEST(PolicyInvisibility, RegionPolicyReproducesSeedResults)
+{
+    System sys(golden());
+    expectGolden(sys.run());
+}
+
+TEST(PolicyInvisibility, ExplicitSpecMatchesPreset)
+{
+    SystemConfig c = golden();
+    c.ambPrefetch =
+        PrefetchConfig::parse("region,entries=64,ways=0");
+    System sys(c);
+    expectGolden(sys.run());
+}
+
+TEST(PolicyInvisibility, LegacyMirrorsMatchPreset)
+{
+    // The deprecated path: nested block disabled, legacy booleans
+    // set.  Resolution folds the mirrors into a region policy (and
+    // warns once); results must still be bit-identical.
+    SystemConfig c = golden();
+    c.ambPrefetch.policy = "none";
+    c.apEnable = true;
+    c.ambEntries = 64;
+    c.ambWays = 0;
+    System sys(c);
+    expectGolden(sys.run());
+}
+
+TEST(PolicyInvisibility, PrefetchStatsBlockIsConsistent)
+{
+    System sys(golden());
+    const RunResult r = sys.run();
+    EXPECT_EQ(r.prefetch.policy, "region");
+    EXPECT_EQ(r.prefetch.hits, r.ambHits);
+    EXPECT_EQ(r.prefetch.lateHits, r.latePrefetchHits);
+    EXPECT_EQ(r.prefetch.dropped, 0u);
+    EXPECT_GT(r.prefetch.issued, r.prefetch.hits);
+    // efficiency == hits / issued by construction.
+    EXPECT_DOUBLE_EQ(r.efficiency,
+                     static_cast<double>(r.prefetch.hits)
+                         / static_cast<double>(r.prefetch.issued));
+}

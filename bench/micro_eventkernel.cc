@@ -14,12 +14,20 @@
  * writes BENCH_kernel.json (google-benchmark JSON) into the current
  * directory unless --benchmark_out is given explicitly.  Rows named
  * Ref... and Malloc... are the "before" design, Kernel... and
- * Pool... the current one.
+ * Pool... the current one; Sharded.../N rows run the full system on
+ * the sharded kernel at N lanes.
+ *
+ * Because the default-output run is how the committed baseline gets
+ * captured, it refuses to start when the host's 1-minute load average
+ * exceeds 1.0 (set FBDP_BENCH_FORCE=1 to override).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -146,6 +154,57 @@ BM_RefScheduleStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RefScheduleStep);
+
+// ---------------------------------------------------------------- //
+// Batched same-tick dispatch: many events due at one tick (the      //
+// frame-boundary burst pattern of the sharded kernel, and DIMM      //
+// callbacks landing on the same memory cycle).  run() extracts the  //
+// whole tick into one contiguous batch before invoking; the         //
+// reference pops the heap once per event.                           //
+// ---------------------------------------------------------------- //
+
+constexpr int sameTickBatch = 64;
+
+void
+BM_KernelBatchedSameTick(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<Event>> evs;
+    for (int i = 0; i < sameTickBatch; ++i)
+        evs.push_back(std::make_unique<Event>([&fired] { ++fired; }));
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 100;
+        for (auto &e : evs)
+            eq.schedule(e.get(), t);
+        eq.run(t);
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * sameTickBatch);
+}
+BENCHMARK(BM_KernelBatchedSameTick);
+
+void
+BM_RefBatchedSameTick(benchmark::State &state)
+{
+    RefEventQueue eq;
+    std::uint64_t fired = 0;
+    std::vector<RefEventQueue::RefEvent> evs(sameTickBatch);
+    for (auto &e : evs)
+        e.cb = [&fired] { ++fired; };
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 100;
+        for (auto &e : evs)
+            eq.schedule(&e, t);
+        for (int i = 0; i < sameTickBatch; ++i)
+            eq.step();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * sameTickBatch);
+}
+BENCHMARK(BM_RefBatchedSameTick);
 
 // ---------------------------------------------------------------- //
 // Reschedule churn over a populated queue: the controller wake      //
@@ -334,6 +393,44 @@ BM_FullSystemSimRate(benchmark::State &state)
 BENCHMARK(BM_FullSystemSimRate)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------- //
+// Sharded-kernel simulation rate: the same full run on an           //
+// eight-channel machine at 1/2/4/8 lanes (cfg.threads).  The arg    //
+// is the lane count; results are bit-identical across rows by the   //
+// kernel's determinism contract, so only the rate moves.  On a      //
+// single-CPU host the >1 rows measure pure sharding overhead        //
+// (oversubscribed lanes); on a multicore host they show scaling.    //
+// ---------------------------------------------------------------- //
+
+void
+BM_ShardedFullSystemSimRate(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::fbdAp();
+    cfg.logicChannels = 8;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    cfg.measureInsts = 20'000;
+    cfg.warmupInsts = 5'000;
+    cfg.benchmarks = mixByName("2C-1").benches;
+    std::uint64_t insts = 0, events = 0;
+    double event_seconds = 0.0;
+    for (auto _ : state) {
+        System sys(cfg);
+        RunResult r = sys.run();
+        insts += r.runInsts;
+        events += r.kernel.eventsDispatched;
+        event_seconds += r.kernel.hostEventSeconds;
+        benchmark::DoNotOptimize(r.ipcSum());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.counters["events_per_sec"] = benchmark::Counter(
+        event_seconds > 0.0
+            ? static_cast<double>(events) / event_seconds
+            : 0.0);
+}
+BENCHMARK(BM_ShardedFullSystemSimRate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- //
 // Cost of the always-compiled trace points.  SimRateTraceDisabled   //
 // runs with the tracer detached — every trace point reduces to one  //
 // branch on a null pointer — and pairs with BM_FullSystemSimRate    //
@@ -407,6 +504,27 @@ main(int argc, char **argv)
     std::string out_flag = "--benchmark_out=BENCH_kernel.json";
     std::string fmt_flag = "--benchmark_out_format=json";
     if (!has_out) {
+        // A default-output run is a baseline capture: refuse to write
+        // BENCH_kernel.json from a busy machine, where the numbers
+        // would bake scheduler noise into the regression gate.
+        // Explicit --benchmark_out runs (CI, experiments) are exempt;
+        // FBDP_BENCH_FORCE=1 overrides when the load is understood.
+        const char *force = std::getenv("FBDP_BENCH_FORCE");
+        if (!force || std::strcmp(force, "1") != 0) {
+            double load1 = 0.0;
+            std::ifstream loadavg("/proc/loadavg");
+            if (loadavg >> load1 && load1 > 1.0) {
+                std::fprintf(stderr,
+                             "micro_eventkernel: 1-min load average "
+                             "%.2f > 1.0 — refusing to capture a "
+                             "BENCH_kernel.json baseline on a busy "
+                             "host.\nQuiesce the machine, pass an "
+                             "explicit --benchmark_out, or set "
+                             "FBDP_BENCH_FORCE=1 to override.\n",
+                             load1);
+                return 1;
+            }
+        }
         args.push_back(out_flag.data());
         args.push_back(fmt_flag.data());
     }

@@ -33,6 +33,9 @@
  *   --apfl            AMB prefetch with full latency (Fig. 9 mode)
  *   --profile         append an event-kernel profile (events/sec,
  *                     simulated-insts/sec, queue + pool counters)
+ *   --threads N       worker lanes for the sharded event kernel
+ *                     (default 1, or FBDP_THREADS; results are
+ *                     bit-identical for every value)
  *
  * Observability (all off by default; attaching them does not change
  * simulation results):
@@ -59,6 +62,7 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.hh"
 #include "power/power_model.hh"
 #include "sim/trace.hh"
 #include "system/metrics.hh"
@@ -99,7 +103,7 @@ main(int argc, char **argv)
              entries = 64, ways = 0;
     std::uint64_t seed = 1;
     std::string trace_out, trace_filter, telemetry_out, epoch_spec,
-        stats_json, amb_policy, mc_policy;
+        stats_json, amb_policy, mc_policy, threads_arg;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -175,6 +179,8 @@ main(int argc, char **argv)
             attribution = true;
         else if (!std::strcmp(a, "--stats-json"))
             stats_json = need(i);
+        else if (!std::strcmp(a, "--threads"))
+            threads_arg = need(i);
         else
             usage(argv[0]);
     }
@@ -238,6 +244,18 @@ main(int argc, char **argv)
     cfg.seed = seed;
     cfg.attribution = attribution;
     applyInstsFromEnv(cfg);
+    applyThreadsFromEnv(cfg);
+    if (!threads_arg.empty())
+        cfg.threads = parseThreadCount(threads_arg.c_str(),
+                                       "--threads");
+    if (cfg.threads > 1
+        && (!trace_out.empty() || !telemetry_out.empty())) {
+        warn("tracing/telemetry observers require one lane; running "
+             "--threads %u serially (results are identical)",
+             cfg.threads);
+        // System forces serial itself when an observer attaches; the
+        // warning just makes the lost parallelism visible.
+    }
 
     const WorkloadMix &mix = mixByName(mix_name);
     cfg.benchmarks = mix.benches;

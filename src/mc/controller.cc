@@ -169,7 +169,13 @@ MemController::chainDelay(unsigned d) const
 void
 MemController::push(TransPtr t)
 {
-    const Tick now = eq->now();
+    pushAt(std::move(t), eq->now());
+}
+
+void
+MemController::pushAt(TransPtr t, Tick sent_at)
+{
+    const Tick now = sent_at;
     t->arrivedAtMc = now;
     t->earliestIssue = now + cfg.ctrlOverhead;
     t->mcSeq = nextMcSeq++;
@@ -879,6 +885,19 @@ MemController::completionFire()
                 .sample(lat_ns);
         } else {
             latHistWrite.sample(lat_ns);
+        }
+        if (cSink) {
+            // Sharded operation: record the phase profile here (the
+            // accumulator is channel state) but leave callback
+            // invocation and hub publishing to the sink's owner — the
+            // core shard, at its next frame drain.
+            PhaseDurations pd{};
+            const bool has_profile = att != nullptr;
+            if (att)
+                pd = att->record(*t);
+            cSink->complete(cSinkChannel, std::move(t), pd,
+                            has_profile);
+            continue;
         }
         if (att) {
             // Publish the phase profile for the duration of the

@@ -92,6 +92,29 @@ struct ControllerConfig
     double mcThrottle = 0.0;
 };
 
+/**
+ * Receiver of finished transactions when the controller runs as a
+ * channel shard: instead of invoking the completion callback inline
+ * (which would touch core/cache state owned by another shard), the
+ * controller hands the transaction — with its recorded phase profile —
+ * to the sink, which stages it for the core shard's next round.
+ */
+class CompletionSink
+{
+  public:
+    virtual ~CompletionSink() = default;
+
+    /**
+     * @p channel     the completing controller's logic-channel index
+     * @p t           the finished transaction (ownership transfers)
+     * @p pd          its phase profile (zeros unless @p has_profile)
+     * @p has_profile attribution was enabled on the channel
+     */
+    virtual void complete(unsigned channel, TransPtr t,
+                          const PhaseDurations &pd,
+                          bool has_profile) = 0;
+};
+
 /** One logic-channel memory controller with its DRAM devices. */
 class MemController
 {
@@ -101,6 +124,29 @@ class MemController
 
     /** Hand a transaction to the controller at the current tick. */
     void push(TransPtr t);
+
+    /**
+     * Hand a transaction that was *sent* at tick @p sent_at (possibly
+     * in the previous memory-cycle frame, when the sender is another
+     * shard and the message crossed a frame barrier).  Arrival
+     * timestamps and the first wake are derived from @p sent_at so
+     * latency accounting is independent of when the mailbox drained.
+     */
+    void pushAt(TransPtr t, Tick sent_at);
+
+    /**
+     * Route finished transactions to @p sink (labelled with
+     * @p channel) instead of invoking their completion callbacks
+     * inline.  nullptr restores inline delivery.  Channel-side
+     * statistics and attribution recording are unaffected; only the
+     * callback/publish half moves to the sink's owner.
+     */
+    void
+    setCompletionSink(CompletionSink *sink, unsigned channel)
+    {
+        cSink = sink;
+        cSinkChannel = channel;
+    }
 
     /**
      * Bind (or unbind with nullptr) the lifecycle tracer.  @p channel
@@ -410,6 +456,10 @@ class MemController
      *  per stamp site, same pattern as the tracer binding). */
     std::unique_ptr<ChannelAttribution> att;
     AttributionHub *attHub = nullptr;
+
+    /** Cross-shard completion hand-off; null == deliver inline. */
+    CompletionSink *cSink = nullptr;
+    unsigned cSinkChannel = 0;
 
     trace::Kind traceKind(const Transaction *t) const
     {

@@ -92,6 +92,11 @@ class Event
 
     static constexpr std::uint32_t invalidIdx = ~0u;
 
+    /** heapIdx values >= batchBase (and != invalidIdx) mean "extracted
+     *  into the current dispatch batch at position heapIdx - batchBase".
+     *  Real heap indices stay far below this. */
+    static constexpr std::uint32_t batchBase = 0x80000000u;
+
     void invoke() { trampoline(cbStore); }
 
     alignas(std::max_align_t) unsigned char cbStore[callbackCapacity];
@@ -134,8 +139,32 @@ class EventQueue
     /** Remove @p ev from the queue if scheduled. */
     void deschedule(Event *ev);
 
-    /** Dispatch events until the queue is empty or @p limit is passed. */
+    /**
+     * Dispatch events until the queue is empty or @p limit is passed.
+     *
+     * Short same-tick groups dispatch one event at a time straight
+     * off the heap.  Once a tick has burned burstSwitch dispatches,
+     * the remainder of that tick is extracted into a contiguous batch
+     * in (priority, seq) order with one partition-sort-rebuild pass
+     * and invoked from the batch — amortizing heap pops for
+     * frame-boundary bursts without taxing the common case.
+     * Callbacks that schedule, deschedule or reschedule events at the
+     * *current* tick observe exactly the same total (tick, priority,
+     * seq) dispatch order either way: batch entries carry a sentinel
+     * index so they can be cancelled or moved, and newly scheduled
+     * same-tick events that sort before a pending batch entry are
+     * drained from the heap first.  run() is not reentrant —
+     * callbacks must not call run().
+     */
     void run(Tick limit = maxTick);
+
+    /**
+     * Advance now() to @p t without dispatching anything.  Used by the
+     * sharded round engine to align every shard's clock at frame
+     * boundaries.  No pending event may be due before @p t; a no-op if
+     * t <= now().
+     */
+    void advanceTo(Tick t);
 
     /** Dispatch exactly one event. @return false if the queue is empty. */
     bool step();
@@ -176,8 +205,19 @@ class EventQueue
     void siftUp(std::size_t idx, Slot s);
     void siftDown(std::size_t idx, Slot s);
     void removeAt(std::size_t idx);
+    void popTop();
+    void drainSameTick(Tick t);
+
+    /** Batch size at which run() stops popping same-tick events one
+     *  by one (a full sift-down each) and switches to drainSameTick's
+     *  partition-sort-rebuild, which costs one linear scan plus one
+     *  heapify no matter how large the burst is. */
+    static constexpr std::size_t burstSwitch = 8;
 
     std::vector<Slot> heap;
+    /** Same-tick dispatch batch used by run(); entries whose ev is
+     *  null were descheduled or rescheduled while the batch ran. */
+    std::vector<Slot> batch;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     Counters stats;

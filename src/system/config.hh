@@ -105,6 +105,19 @@ struct SystemConfig
      */
     bool attribution = false;
 
+    // --- execution ---
+    /**
+     * Worker threads for the sharded event kernel: the core/cache
+     * shard plus one shard per logic channel are spread over this many
+     * lanes, synchronizing at every memory-cycle frame.  Results are
+     * bit-identical for every value — the kernel executes the same
+     * staged schedule whether the lanes run serially (threads == 1) or
+     * on a thread pool — so this knob trades host CPUs for sim-rate
+     * only.  Clamped to 1 + logicChannels (more lanes than shards
+     * cannot help).
+     */
+    unsigned threads = 1;
+
     /** Number of cores (== benchmarks.size() once assigned). */
     unsigned
     nCores() const

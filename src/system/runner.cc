@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <future>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -13,6 +14,7 @@ runMix(const SystemConfig &base, const WorkloadMix &mix)
 {
     SystemConfig cfg = base;
     cfg.benchmarks = mix.benches;
+    applyThreadsFromEnv(cfg);
     System sys(cfg);
     return sys.run();
 }
@@ -33,6 +35,36 @@ jobsFromEnv()
     return static_cast<unsigned>(v);
 }
 
+unsigned
+parseThreadCount(const char *text, const char *origin)
+{
+    if (!text || !*text)
+        return 1;
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1 || v > 1024) {
+        warn("ignoring %s='%s': expected a lane count in [1, 1024]; "
+             "running serially", origin, text);
+        return 1;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0 && v > hw) {
+        warn("%s=%lld exceeds the %u host CPUs; clamping (results "
+             "are identical for every thread count)", origin, v, hw);
+        return hw;
+    }
+    return static_cast<unsigned>(v);
+}
+
+void
+applyThreadsFromEnv(SystemConfig &cfg)
+{
+    const char *e = std::getenv("FBDP_THREADS");
+    if (!e || !*e)
+        return;
+    cfg.threads = parseThreadCount(e, "FBDP_THREADS");
+}
+
 std::vector<RunResult>
 runCells(const std::vector<RunCell> &cells, unsigned jobs)
 {
@@ -42,6 +74,7 @@ runCells(const std::vector<RunCell> &cells, unsigned jobs)
         cfgs.push_back(cell.cfg);
         if (cell.mix)
             cfgs.back().benchmarks = cell.mix->benches;
+        applyThreadsFromEnv(cfgs.back());
     }
 
     std::vector<RunResult> results;

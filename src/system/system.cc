@@ -1,5 +1,6 @@
 #include "system/system.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
 
@@ -46,7 +47,11 @@ MemorySystem::read(Addr line_addr, int core_id, bool sw_prefetch,
     t->created = eq->now();
     t->coord = map->map(t->lineAddr);
     t->onComplete = std::move(done);
-    (*controllers)[t->coord.channel]->push(std::move(t));
+    const unsigned ch = t->coord.channel;
+    if (router)
+        router->routePush(ch, std::move(t));
+    else
+        (*controllers)[ch]->push(std::move(t));
 }
 
 void
@@ -58,11 +63,16 @@ MemorySystem::write(Addr line_addr, int core_id)
     t->coreId = core_id;
     t->created = eq->now();
     t->coord = map->map(t->lineAddr);
-    (*controllers)[t->coord.channel]->push(std::move(t));
+    const unsigned ch = t->coord.channel;
+    if (router)
+        router->routePush(ch, std::move(t));
+    else
+        (*controllers)[ch]->push(std::move(t));
 }
 
 System::System(const SystemConfig &config)
-    : cfg(config)
+    : cfg(config),
+      deliverEvent([this] { deliverFire(); }, Event::prioData)
 {
     fbdp_assert(!cfg.benchmarks.empty(),
                 "system configured with no workload");
@@ -70,17 +80,27 @@ System::System(const SystemConfig &config)
     map = std::make_unique<AddressMap>(cfg.addressMapConfig());
 
     const ControllerConfig cc = cfg.controllerConfig();
-    for (unsigned ch = 0; ch < cfg.logicChannels; ++ch) {
-        controllers.push_back(std::make_unique<MemController>(
-            csprintf("mc%u", ch), &eq, cc));
-    }
+    frame = cc.timing.memCycle;
 
-    memSys = std::make_unique<MemorySystem>(&eq, map.get(),
+    // Queue 0 drives the cores and caches; each logic channel gets its
+    // own shard so the controllers can run on separate lanes.
+    queues.push_back(std::make_unique<EventQueue>());
+    shards.resize(cfg.logicChannels);
+    for (unsigned ch = 0; ch < cfg.logicChannels; ++ch) {
+        queues.push_back(std::make_unique<EventQueue>());
+        controllers.push_back(std::make_unique<MemController>(
+            csprintf("mc%u", ch), queues.back().get(), cc));
+        controllers.back()->setCompletionSink(this, ch);
+    }
+    EventQueue *coreQ = queues.front().get();
+
+    memSys = std::make_unique<MemorySystem>(coreQ, map.get(),
                                             &controllers);
+    memSys->setRouter(this);
     HierConfig hc = cfg.hier;
     if (cfg.hwPrefetch)
         hc.hwPrefetch.enable = true;
-    hier = std::make_unique<CacheHierarchy>(&eq, cfg.nCores(), hc,
+    hier = std::make_unique<CacheHierarchy>(coreQ, cfg.nCores(), hc,
                                             memSys.get());
 
     // Each core owns a disjoint 4 GB slice of the physical space; the
@@ -99,7 +119,8 @@ System::System(const SystemConfig &config)
         cp.sq = cfg.sq;
         cores.push_back(std::make_unique<Core>(
             csprintf("cpu%u.%s", i, prof.name.c_str()),
-            static_cast<int>(i), &eq, hier.get(), gens[i].get(), cp));
+            static_cast<int>(i), coreQ, hier.get(), gens[i].get(),
+            cp));
     }
 
     if (cfg.attribution) {
@@ -115,6 +136,11 @@ System::~System() = default;
 void
 System::attachTracer(trace::Tracer *t)
 {
+    // A tracer records from every component; running the shards on
+    // multiple lanes would interleave its buffers non-deterministically
+    // (and race).  Traced runs therefore execute the staged schedule
+    // on one lane — same schedule, same results, just serially.
+    tracerAttached = t != nullptr;
     for (unsigned ch = 0; ch < controllers.size(); ++ch)
         controllers[ch]->bindTracer(t, ch);
     hier->bindTracer(t);
@@ -161,18 +187,24 @@ System::run()
     // kernel, not process start-up or the functional replay above.
     const auto host0 = std::chrono::steady_clock::now();
 
+    const unsigned lanes = laneCount();
+    if (lanes > 1 && !pool)
+        pool = std::make_unique<ThreadPool>(lanes - 1);
+
     // Phase 1: warm up until the first core has executed warmupInsts.
+    // Each phase runs whole rounds and stops at the frame barrier
+    // after the notify fired, so both window edges are frame-aligned.
     phaseDone = false;
     for (auto &c : cores) {
         c->setNotify(cfg.warmupInsts, [this] { phaseDone = true; });
         c->start();
     }
-    while (!phaseDone && eq.step()) {
-    }
+    runRounds(lanes);
     fbdp_assert(phaseDone, "simulation drained during warm-up");
+    alignClocks();
 
     resetAllStats();
-    const Tick t0 = eq.now();
+    const Tick t0 = queues.front()->now();
 
     // Phase 2: measure until the first core adds measureInsts more.
     phaseDone = false;
@@ -180,13 +212,183 @@ System::run()
         c->setNotify(c->insts() + cfg.measureInsts,
                      [this] { phaseDone = true; });
     }
-    while (!phaseDone && eq.step()) {
-    }
+    runRounds(lanes);
     fbdp_assert(phaseDone, "simulation drained during measurement");
+    const Tick t1 = alignClocks();
 
     hostEventSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - host0).count();
-    return collect(eq.now() - t0);
+    return collect(t1 - t0);
+}
+
+unsigned
+System::laneCount() const
+{
+    unsigned lanes = cfg.threads < 1 ? 1 : cfg.threads;
+    if (tracerAttached || telemetryObserver)
+        lanes = 1;
+    // One lane per shard at most: the core shard plus one per channel.
+    const unsigned max_lanes = 1 + cfg.logicChannels;
+    return lanes < max_lanes ? lanes : max_lanes;
+}
+
+void
+System::runRounds(unsigned lanes)
+{
+    stopRounds = false;
+    if (lanes == 1) {
+        // The exact same staged schedule, on the calling thread.
+        while (!stopRounds) {
+            laneRound(0, 1);
+            endOfRound();
+        }
+        return;
+    }
+
+    SpinBarrier barrier(lanes);
+    const auto on_last = [this] { endOfRound(); };
+    std::vector<std::future<void>> lanes_done;
+    for (unsigned lane = 1; lane < lanes; ++lane) {
+        lanes_done.push_back(pool->submit(
+            [this, lane, lanes, &barrier, on_last] {
+                for (;;) {
+                    laneRound(lane, lanes);
+                    barrier.arriveAndWait(on_last);
+                    if (stopRounds)
+                        return;
+                }
+            }));
+    }
+    for (;;) {
+        laneRound(0, lanes);
+        barrier.arriveAndWait(on_last);
+        if (stopRounds)
+            break;
+    }
+    for (auto &f : lanes_done)
+        f.get();
+}
+
+void
+System::laneRound(unsigned lane, unsigned lanes)
+{
+    const Tick start = static_cast<Tick>(curRound) * frame;
+    const Tick limit = start + frame - 1;
+
+    if (lane == 0) {
+        // The core/cache shard: deliver last round's completions.
+        EventQueue &q = *queues.front();
+        q.advanceTo(start);
+        for (auto &sh : shards) {
+            auto &in = sh.doneBox.inbox(curRound);
+            for (CompleteMsg &m : in) {
+                // One frame of hand-off latency, preserving the
+                // completions' relative spacing and FIFO order.
+                pendingDone.push_back(PendingDone{
+                    m.t->completedAt + frame, nextDoneSeq++,
+                    std::move(m.t), m.pd, m.hasProfile});
+                std::push_heap(pendingDone.begin(), pendingDone.end(),
+                               PendingAfter{});
+            }
+            in.clear();
+        }
+        if (!pendingDone.empty()
+            && (!deliverEvent.scheduled()
+                || deliverEvent.when()
+                       > pendingDone.front().deliverAt)) {
+            q.schedule(&deliverEvent, pendingDone.front().deliverAt);
+        }
+        q.run(limit);
+    }
+
+    if (lanes == 1 || lane > 0) {
+        for (unsigned ch = 0; ch < shards.size(); ++ch) {
+            // Channels round-robin over lanes 1..lanes-1 (all on lane
+            // 0 when serial).  The assignment affects wall-clock only;
+            // results are lane-independent by construction.
+            if (lanes > 1 && 1 + ch % (lanes - 1) != lane)
+                continue;
+            EventQueue &q = *queues[1 + ch];
+            q.advanceTo(start);
+            auto &in = shards[ch].pushBox.inbox(curRound);
+            for (PushMsg &m : in)
+                controllers[ch]->pushAt(std::move(m.t), m.sentAt);
+            in.clear();
+            q.run(limit);
+        }
+    }
+}
+
+void
+System::endOfRound()
+{
+    if (phaseDone) {
+        stopRounds = true;
+    } else {
+        // Termination backstop: a drained simulation (every shard
+        // idle, every mailbox empty, nothing pending delivery) can
+        // never reach the notify, so stop and let run() report it.
+        bool active = !pendingDone.empty();
+        for (const auto &q : queues)
+            active = active || !q->empty();
+        for (const auto &sh : shards)
+            active = active || !sh.pushBox.bothEmpty()
+                || !sh.doneBox.bothEmpty();
+        if (!active)
+            stopRounds = true;
+    }
+    ++curRound;
+}
+
+void
+System::routePush(unsigned channel, TransPtr t)
+{
+    shards[channel].pushBox.post(
+        curRound, PushMsg{std::move(t), queues.front()->now()});
+}
+
+void
+System::complete(unsigned channel, TransPtr t,
+                 const PhaseDurations &pd, bool has_profile)
+{
+    shards[channel].doneBox.post(
+        curRound, CompleteMsg{std::move(t), pd, has_profile});
+}
+
+void
+System::deliverFire()
+{
+    EventQueue &q = *queues.front();
+    const Tick now = q.now();
+    while (!pendingDone.empty()
+           && pendingDone.front().deliverAt <= now) {
+        std::pop_heap(pendingDone.begin(), pendingDone.end(),
+                      PendingAfter{});
+        PendingDone d = std::move(pendingDone.back());
+        pendingDone.pop_back();
+        if (d.hasProfile) {
+            // Publish the phase profile for the duration of the
+            // completion callback so a core whose stall ends inside
+            // it can attribute the stalled cycles to these phases.
+            attHub.publish(d.pd);
+        }
+        if (d.t->onComplete)
+            d.t->onComplete(d.t->completedAt);
+        if (d.hasProfile)
+            attHub.clear();
+        d.t.reset();
+    }
+    if (!pendingDone.empty())
+        q.schedule(&deliverEvent, pendingDone.front().deliverAt);
+}
+
+Tick
+System::alignClocks()
+{
+    const Tick boundary = static_cast<Tick>(curRound) * frame;
+    for (auto &q : queues)
+        q->advanceTo(boundary);
+    return boundary;
 }
 
 void
@@ -480,12 +682,17 @@ System::collect(Tick window_ticks) const
     for (const auto &c : cores)
         r.runInsts += c->insts();
 
-    const EventQueue::Counters &qc = eq.counters();
-    r.kernel.eventsDispatched = qc.dispatched;
-    r.kernel.schedules = qc.schedules;
-    r.kernel.reschedules = qc.reschedules;
-    r.kernel.deschedules = qc.deschedules;
-    r.kernel.peakQueueDepth = qc.peakDepth;
+    // Sum the shard queues' counters in queue order (peak depth too:
+    // an upper bound on simultaneous live events across all shards,
+    // and — unlike a max — it degrades visibly if one shard bloats).
+    for (const auto &q : queues) {
+        const EventQueue::Counters &qc = q->counters();
+        r.kernel.eventsDispatched += qc.dispatched;
+        r.kernel.schedules += qc.schedules;
+        r.kernel.reschedules += qc.reschedules;
+        r.kernel.deschedules += qc.deschedules;
+        r.kernel.peakQueueDepth += qc.peakDepth;
+    }
     // The pool is thread-local and shared by every System this thread
     // has run, so the counters are cumulative across runs; high water
     // and capacity are still per-thread facts worth reporting.

@@ -15,16 +15,20 @@
 
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "cpu/core.hh"
 #include "dram/dimm.hh"
 #include "mc/address_map.hh"
 #include "mc/attribution.hh"
 #include "mc/controller.hh"
 #include "sim/event_queue.hh"
+#include "sim/shards.hh"
 #include "system/config.hh"
 #include "workload/generator.hh"
 
 namespace fbdp {
+
+class System;
 
 /**
  * Event-kernel activity of one simulation: queue counters, transaction
@@ -157,7 +161,12 @@ struct RunResult
     double totalInsts() const;
 };
 
-/** Routes cache-hierarchy traffic to the per-channel controllers. */
+/**
+ * Routes cache-hierarchy traffic to the per-channel controllers.
+ * Under the sharded kernel the hand-off goes through the owning
+ * System's frame mailboxes (setRouter) instead of calling into the
+ * controller — which lives on another shard — directly.
+ */
 class MemorySystem : public MemoryIface
 {
   public:
@@ -168,14 +177,30 @@ class MemorySystem : public MemoryIface
               TickCallback done) override;
     void write(Addr line_addr, int core_id) override;
 
+    /** Stage requests in @p r's mailboxes instead of pushing inline
+     *  (nullptr restores the direct path). */
+    void setRouter(System *r) { router = r; }
+
   private:
     EventQueue *eq;
     const AddressMap *map;
     std::vector<std::unique_ptr<MemController>> *controllers;
+    System *router = nullptr;
 };
 
-/** One simulated machine. */
-class System
+/**
+ * One simulated machine, built on the sharded event kernel: a
+ * core/cache event-queue shard (queue 0) plus one shard per logic
+ * channel.  Simulated time advances in rounds of one memory-cycle
+ * frame; every cross-shard hand-off (request, completion) is staged in
+ * a FrameMailbox during one round and drained by the receiving shard
+ * at the start of the next, costing exactly one frame of model
+ * latency.  The same staged schedule executes for every
+ * SystemConfig::threads value — serially in shard order at threads ==
+ * 1, on a barrier-synchronized thread pool otherwise — so results are
+ * bit-identical regardless of the thread count.
+ */
+class System : private CompletionSink
 {
   public:
     explicit System(const SystemConfig &cfg);
@@ -228,8 +253,23 @@ class System
     std::vector<OwnedStatGroup>
     buildStatGroups(bool include_histograms = false) const;
 
+    /**
+     * Stage a core-side request for channel @p channel's next round.
+     * Called by MemorySystem on the core shard; public only for that
+     * hand-off.
+     */
+    void routePush(unsigned channel, TransPtr t);
+
+    /**
+     * An attached observer (telemetry sampler) reads cross-shard state
+     * from event context: force the lanes serial for this run.  The
+     * staged schedule is unchanged, so results are unchanged.
+     */
+    void setTelemetryObserver(bool on) { telemetryObserver = on; }
+
     // Component access for tests and custom experiments.
-    EventQueue &eventQueue() { return eq; }
+    /** The core/cache shard's queue — the clock observers live by. */
+    EventQueue &eventQueue() { return *queues.front(); }
     MemController &controller(unsigned i) { return *controllers.at(i); }
     unsigned numControllers() const
     {
@@ -242,11 +282,101 @@ class System
     const SystemConfig &config() const { return cfg; }
 
   private:
+    /** Core→channel request staged across a frame barrier. */
+    struct PushMsg
+    {
+        TransPtr t;
+        Tick sentAt;
+    };
+
+    /** Channel→core completion staged across a frame barrier. */
+    struct CompleteMsg
+    {
+        TransPtr t;
+        PhaseDurations pd;
+        bool hasProfile;
+    };
+
+    /** Mailbox pair of one channel shard. */
+    struct ChannelShard
+    {
+        FrameMailbox<PushMsg> pushBox;    ///< core -> channel
+        FrameMailbox<CompleteMsg> doneBox; ///< channel -> core
+    };
+
+    /** A drained completion waiting for its core-shard delivery tick
+     *  (completedAt plus one frame). */
+    struct PendingDone
+    {
+        Tick deliverAt;
+        std::uint64_t seq;  ///< drain order, FIFO within a tick
+        TransPtr t;
+        PhaseDurations pd;
+        bool hasProfile;
+    };
+
+    /** Min-heap order on (deliverAt, seq). */
+    struct PendingAfter
+    {
+        bool
+        operator()(const PendingDone &a, const PendingDone &b) const
+        {
+            if (a.deliverAt != b.deliverAt)
+                return a.deliverAt > b.deliverAt;
+            return a.seq > b.seq;
+        }
+    };
+
+    // CompletionSink: called by a controller on its channel lane.
+    void complete(unsigned channel, TransPtr t,
+                  const PhaseDurations &pd, bool has_profile) override;
+
     void resetAllStats();
     RunResult collect(Tick window_ticks) const;
 
+    /** Lanes this run will use: threads clamped to the shard count,
+     *  forced to 1 while an observer is attached. */
+    unsigned laneCount() const;
+
+    /** Execute rounds until a barrier sees phaseDone (or the queues
+     *  drain); on return every shard has finished the same round. */
+    void runRounds(unsigned lanes);
+
+    /** One lane's share of round curRound: advance, drain mailboxes,
+     *  dispatch one frame on every owned shard. */
+    void laneRound(unsigned lane, unsigned lanes);
+
+    /** Barrier hook, run by exactly one thread between rounds. */
+    void endOfRound();
+
+    /** Pop pending completions due at the core shard's clock. */
+    void deliverFire();
+
+    /** Align every shard's clock to the current frame boundary (the
+     *  phase edge, so windows span whole frames). */
+    Tick alignClocks();
+
     SystemConfig cfg;
-    EventQueue eq;
+
+    /** queues[0] is the core/cache shard; queues[1 + ch] drives
+     *  logic channel ch. */
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::vector<ChannelShard> shards;
+
+    /** Frame length: one memory cycle, the barrier quantum. */
+    Tick frame = 0;
+    /** Rounds completed since construction; never reset (mailbox
+     *  parity and in-flight hand-offs carry across phase edges). */
+    std::size_t curRound = 0;
+    /** Set at a barrier by endOfRound(); lanes exit their loops. */
+    bool stopRounds = false;
+
+    std::vector<PendingDone> pendingDone;
+    std::uint64_t nextDoneSeq = 0;
+    Event deliverEvent;
+
+    /** Workers for lanes 1..L-1; lane 0 is the calling thread. */
+    std::unique_ptr<ThreadPool> pool;
 
     /** Completion hand-off between controllers and cores when
      *  attribution is enabled (see mc/attribution.hh). */
@@ -263,6 +393,8 @@ class System
     std::vector<std::unique_ptr<Core>> cores;
 
     bool phaseDone = false;
+    bool tracerAttached = false;
+    bool telemetryObserver = false;
 };
 
 } // namespace fbdp

@@ -19,6 +19,9 @@ TelemetrySampler::TelemetrySampler(System &system, Tick epoch_ticks,
       sampleEvent([this] { fire(); }, Event::prioCpu + 5)
 {
     fbdp_assert(epoch > 0, "telemetry epoch must be positive");
+    // The sampler reads every shard's gauges from core-shard event
+    // context; the run must stay on one lane while it is attached.
+    sys.setTelemetryObserver(true);
 
     const unsigned nCh = sys.numControllers();
     chPrev.resize(nCh);
@@ -150,6 +153,7 @@ TelemetrySampler::~TelemetrySampler()
 {
     if (sampleEvent.scheduled())
         eq.deschedule(&sampleEvent);
+    sys.setTelemetryObserver(false);
 }
 
 void

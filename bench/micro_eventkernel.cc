@@ -24,6 +24,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,8 +33,10 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "mc/transaction.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace.hh"
@@ -429,6 +432,90 @@ BM_ShardedFullSystemSimRate(benchmark::State &state)
 BENCHMARK(BM_ShardedFullSystemSimRate)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- //
+// The same sharded run with the kernel self-profiler on             //
+// (--profile-kernel).  Pairs row-for-row with the unprofiled        //
+// benchmark above to bound the enabled-profiling overhead; the      //
+// disabled cost is zero by construction (every clock read sits      //
+// behind one `if (profiling)` branch).                              //
+// ---------------------------------------------------------------- //
+
+void
+BM_ShardedFullSystemSimRateProfiled(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::fbdAp();
+    cfg.logicChannels = 8;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    cfg.profileKernel = true;
+    cfg.measureInsts = 20'000;
+    cfg.warmupInsts = 5'000;
+    cfg.benchmarks = mixByName("2C-1").benches;
+    std::uint64_t insts = 0;
+    double busy = 0.0, wait = 0.0, wall = 0.0;
+    for (auto _ : state) {
+        System sys(cfg);
+        RunResult r = sys.run();
+        insts += r.runInsts;
+        for (const LaneProfile &l : r.kernel.lanes) {
+            busy += l.busySeconds + l.drainSeconds;
+            wait += l.barrierWaitSeconds;
+            wall += l.wallSeconds;
+        }
+        benchmark::DoNotOptimize(r.ipcSum());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+    state.counters["busy_frac"] = benchmark::Counter(
+        wall > 0.0 ? busy / wall : 0.0);
+    state.counters["barrier_wait_frac"] = benchmark::Counter(
+        wall > 0.0 ? wait / wall : 0.0);
+}
+BENCHMARK(BM_ShardedFullSystemSimRateProfiled)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- //
+// The round barrier in isolation: N lanes arriving and releasing    //
+// with an empty hook, the per-round synchronisation floor of the    //
+// sharded kernel.  items/sec is barrier rounds per second.  All     //
+// lanes run the same hook-checked shutdown so every lane exits at   //
+// the same round boundary, mirroring the kernel's stopRounds        //
+// protocol.                                                         //
+// ---------------------------------------------------------------- //
+
+void
+BM_ShardBarrier(benchmark::State &state)
+{
+    const unsigned lanes = static_cast<unsigned>(state.range(0));
+    SpinBarrier barrier(lanes);
+    std::atomic<bool> main_done{false};
+    std::atomic<bool> stop{false};
+    const auto hook = [&] {
+        if (main_done.load(std::memory_order_relaxed))
+            stop.store(true, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> peers;
+    for (unsigned i = 1; i < lanes; ++i) {
+        peers.emplace_back([&] {
+            do {
+                barrier.arriveAndWait(hook);
+            } while (!stop.load(std::memory_order_relaxed));
+        });
+    }
+
+    for (auto _ : state)
+        barrier.arriveAndWait(hook);
+    main_done.store(true, std::memory_order_relaxed);
+    do {
+        barrier.arriveAndWait(hook);
+    } while (!stop.load(std::memory_order_relaxed));
+
+    for (auto &p : peers)
+        p.join();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardBarrier)->Arg(1)->Arg(2)->Arg(4);
 
 // ---------------------------------------------------------------- //
 // Cost of the always-compiled trace points.  SimRateTraceDisabled   //

@@ -33,6 +33,12 @@
  *   --apfl            AMB prefetch with full latency (Fig. 9 mode)
  *   --profile         append an event-kernel profile (events/sec,
  *                     simulated-insts/sec, queue + pool counters)
+ *   --profile-kernel  time the sharded kernel itself: per-shard and
+ *                     per-lane top-down tables (busy / mailbox-drain /
+ *                     barrier-wait host time, mailbox traffic,
+ *                     release-path census) plus the channel imbalance
+ *                     summary.  Implies the counters of --profile.
+ *                     Results are bit-identical with it on or off.
  *   --threads N       worker lanes for the sharded event kernel
  *                     (default 1, or FBDP_THREADS; results are
  *                     bit-identical for every value)
@@ -98,7 +104,7 @@ main(int argc, char **argv)
     std::uint64_t warmup = 0;
     bool vrl = false, no_sp = false, no_refresh = false,
          apfl = false, verbose = false, profile = false,
-         attribution = false;
+         profile_kernel = false, attribution = false;
     unsigned channels = 2, dimms = 4, rate = 667, k = 4,
              entries = 64, ways = 0;
     std::uint64_t seed = 1;
@@ -167,6 +173,8 @@ main(int argc, char **argv)
             verbose = true;
         else if (!std::strcmp(a, "--profile"))
             profile = true;
+        else if (!std::strcmp(a, "--profile-kernel"))
+            profile_kernel = true;
         else if (!std::strcmp(a, "--trace-out"))
             trace_out = need(i);
         else if (!std::strcmp(a, "--trace-filter"))
@@ -243,19 +251,14 @@ main(int argc, char **argv)
     cfg.warmupInsts = warmup ? warmup : insts / 4;
     cfg.seed = seed;
     cfg.attribution = attribution;
+    cfg.profileKernel = profile_kernel;
     applyInstsFromEnv(cfg);
     applyThreadsFromEnv(cfg);
     if (!threads_arg.empty())
         cfg.threads = parseThreadCount(threads_arg.c_str(),
                                        "--threads");
-    if (cfg.threads > 1
-        && (!trace_out.empty() || !telemetry_out.empty())) {
-        warn("tracing/telemetry observers require one lane; running "
-             "--threads %u serially (results are identical)",
-             cfg.threads);
-        // System forces serial itself when an observer attaches; the
-        // warning just makes the lost parallelism visible.
-    }
+    // When a trace/telemetry observer pins the kernel to one lane,
+    // System::laneCount() warns loudly the first time it happens.
 
     const WorkloadMix &mix = mixByName(mix_name);
     cfg.benchmarks = mix.benches;
@@ -479,7 +482,7 @@ main(int argc, char **argv)
                   << " dropped -> " << trace_out << "\n";
     }
 
-    if (profile) {
+    if (profile || profile_kernel) {
         const KernelProfile &k = r.kernel;
         std::cout << "\n";
         TextTable p({"kernel profile", "value"});
@@ -499,12 +502,66 @@ main(int argc, char **argv)
                   std::to_string(k.deschedules)});
         p.addRow({"peak queue depth",
                   std::to_string(k.peakQueueDepth)});
+        p.addRow({"same-tick batch drains",
+                  std::to_string(k.batchDrains)});
+        p.addRow({"events dispatched batched",
+                  std::to_string(k.batchedEvents)});
         p.addRow({"pool acquires", std::to_string(k.poolAcquires)});
         p.addRow({"pool reuses", std::to_string(k.poolReuses)});
         p.addRow({"pool high water",
                   std::to_string(k.poolHighWater)});
         p.addRow({"pool capacity", std::to_string(k.poolCapacity)});
         p.print(std::cout);
+    }
+
+    if (profile_kernel && r.kernel.profiled) {
+        const KernelProfile &k = r.kernel;
+        const auto ms = [](double s) { return fmtD(s * 1e3, 2); };
+
+        // Top-down per-shard view: where the dispatch work lives.
+        std::cout << "\n";
+        TextTable sh({"shard", "lane", "events", "batched",
+                      "peak depth", "mbox in", "mbox out", "busy (ms)",
+                      "drain (ms)"});
+        for (const ShardProfile &s : k.shards) {
+            sh.addRow({s.name, std::to_string(s.lane),
+                       std::to_string(s.events),
+                       std::to_string(s.batchedEvents),
+                       std::to_string(s.peakQueueDepth),
+                       std::to_string(s.mailboxIn),
+                       std::to_string(s.mailboxOut),
+                       ms(s.busySeconds), ms(s.drainSeconds)});
+        }
+        sh.print(std::cout);
+        std::cout << "channel imbalance: "
+                  << fmtD(k.eventImbalance(), 3)
+                  << " (events, max/mean), "
+                  << fmtD(k.busyImbalance(), 3)
+                  << " (busy host time)\n";
+
+        // Per-lane view: per round, busy + drain + barrier wait
+        // telescopes to wall exactly, so the busy column reads as a
+        // parallel-efficiency figure.
+        std::cout << "\n";
+        TextTable ln({"lane", "shards", "rounds", "busy (ms)",
+                      "drain (ms)", "barrier (ms)", "wall (ms)",
+                      "busy", "last/spin/yield/sleep"});
+        for (const LaneProfile &l : k.lanes) {
+            const double frac = l.wallSeconds > 0.0
+                ? (l.busySeconds + l.drainSeconds) / l.wallSeconds
+                : 0.0;
+            ln.addRow({std::to_string(l.lane),
+                       std::to_string(l.shardsOwned),
+                       std::to_string(l.rounds),
+                       ms(l.busySeconds), ms(l.drainSeconds),
+                       ms(l.barrierWaitSeconds), ms(l.wallSeconds),
+                       fmtPct(frac),
+                       std::to_string(l.lastArrivals) + "/"
+                           + std::to_string(l.spinReleases) + "/"
+                           + std::to_string(l.yieldReleases) + "/"
+                           + std::to_string(l.sleepReleases)});
+        }
+        ln.print(std::cout);
     }
 
     if (!stats_json.empty()) {

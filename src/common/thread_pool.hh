@@ -60,14 +60,25 @@ class SpinBarrier
     SpinBarrier &operator=(const SpinBarrier &) = delete;
 
     /**
+     * How one arriveAndWait() call was released — which rung of the
+     * spin / yield / sleep ladder the caller reached before the round
+     * opened.  Last means this caller was the final arriver (and ran
+     * the hook); the others grade how long it waited: Spin is a
+     * near-simultaneous arrival, Sleep means the thread gave up its
+     * timeslice.  The kernel profiler counts these per lane to tell
+     * "lanes finish together" from "one lane drags the round".
+     */
+    enum class Release : std::uint8_t { Last, Spin, Yield, Sleep };
+
+    /**
      * Block until all @p count threads have arrived.  The last
      * arriver runs @p on_last (if any) while every other thread is
      * still parked, then releases them.  Exceptions from @p on_last
      * propagate to the last arriver only — after the release, so the
-     * barrier stays usable.
+     * barrier stays usable.  @return how this caller was released.
      */
     template <typename F = void (*)()>
-    void
+    Release
     arriveAndWait(F &&on_last = nullptr)
     {
         const std::uint32_t gen = generation.load(std::memory_order_acquire);
@@ -98,20 +109,21 @@ class SpinBarrier
             generation.notify_all();
             if (hook_threw)
                 std::rethrow_exception(eptr);
-            return;
+            return Release::Last;
         }
         // Bounded spin, then yield, then sleep on the generation word.
         for (int i = 0; i < 1024; ++i) {
             if (generation.load(std::memory_order_acquire) != gen)
-                return;
+                return Release::Spin;
         }
         for (int i = 0; i < 64; ++i) {
             std::this_thread::yield();
             if (generation.load(std::memory_order_acquire) != gen)
-                return;
+                return Release::Yield;
         }
         while (generation.load(std::memory_order_acquire) == gen)
             generation.wait(gen, std::memory_order_acquire);
+        return Release::Sleep;
     }
 
     /** Completed barrier rounds. */

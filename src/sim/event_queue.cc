@@ -143,6 +143,7 @@ EventQueue::drainSameTick(Tick t)
     }
     if (batch.size() == firstLoose)
         return;  // nothing more was due: the heap is untouched
+    ++stats.batchDrains;
     heap.resize(n);
     std::sort(batch.begin() + static_cast<std::ptrdiff_t>(firstLoose),
               batch.end(),
@@ -236,6 +237,7 @@ EventQueue::run(Tick limit)
             ev->heapIdx = Event::invalidIdx;
             batch[i].ev = nullptr;
             ++stats.dispatched;
+            ++stats.batchedDispatched;
             ev->invoke();
         }
         batch.clear();

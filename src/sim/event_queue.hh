@@ -123,6 +123,12 @@ class EventQueue
         std::uint64_t reschedules = 0;  ///< schedule() of a live event
         std::uint64_t deschedules = 0;  ///< deschedule() of a live event
         std::uint64_t peakDepth = 0;    ///< max simultaneous live events
+        /** drainSameTick() passes that extracted at least one event
+         *  (one per long same-tick burst). */
+        std::uint64_t batchDrains = 0;
+        /** Events dispatched from an extracted batch rather than
+         *  popped off the heap one at a time. */
+        std::uint64_t batchedDispatched = 0;
     };
 
     EventQueue() = default;

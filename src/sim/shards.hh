@@ -19,6 +19,7 @@
 #define FBDP_SIM_SHARDS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -61,6 +62,7 @@ class FrameMailbox
     post(std::size_t k, T msg)
     {
         buf[k & 1].push_back(std::move(msg));
+        ++nPosted;
     }
 
     /** Messages staged in round k-1, to drain in round @p k (consumer
@@ -77,8 +79,15 @@ class FrameMailbox
         return buf[0].empty() && buf[1].empty();
     }
 
+    /** Messages ever posted (cheap enough to maintain always; the
+     *  kernel profiler reads it, and posted minus drained bounds the
+     *  in-flight hand-offs).  Written by the producer shard only —
+     *  read it after a barrier, like the buffers themselves. */
+    std::uint64_t posted() const { return nPosted; }
+
   private:
     std::vector<T> buf[2];
+    std::uint64_t nPosted = 0;
 };
 
 } // namespace fbdp

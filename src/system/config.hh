@@ -105,6 +105,17 @@ struct SystemConfig
      */
     bool attribution = false;
 
+    /**
+     * Kernel self-profiling: time every shard round (busy vs mailbox
+     * drain), every lane's barrier waits, and the cross-shard mailbox
+     * traffic, into KernelProfile::shards/lanes.  Observer-only —
+     * simulation results are bit-identical with it on or off; the cost
+     * is a pair of clock reads per active shard per round.  Surfaced
+     * by `fbdpsim --profile-kernel`, the --stats-json "kernel" block
+     * and the kernel.* telemetry gauges.
+     */
+    bool profileKernel = false;
+
     // --- execution ---
     /**
      * Worker threads for the sharded event kernel: the core/cache

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "power/power_model.hh"
 #include "system/metrics.hh"
 
 namespace fbdp {
@@ -422,6 +423,81 @@ ResultSchema::prefetchStats()
                    "unused displaced or invalidated / issued",
                    [](const SweepRow &r) {
                        return r.result.prefetch.pollution();
+                   }));
+        return s;
+    }();
+    return schema;
+}
+
+const ResultSchema &
+ResultSchema::powerStats()
+{
+    static const ResultSchema schema = [] {
+        ResultSchema s;
+        s.add(Column{"config", "", "machine configuration name",
+                     ColumnKind::Text, [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.config);
+                     }});
+        s.add(Column{"mix", "", "workload mix name", ColumnKind::Text,
+                     [](const SweepRow &r) {
+                         return ColumnValue::ofText(r.mix);
+                     }});
+        s.add(Column{"seed", "", "RNG seed of this repeat",
+                     ColumnKind::Count, [](const SweepRow &r) {
+                         return ColumnValue::ofCount(r.seed);
+                     }});
+        auto count = [](std::string name, std::string desc,
+                        std::function<std::uint64_t(
+                            const SweepRow &)> f) {
+            return Column{std::move(name), "ops", std::move(desc),
+                          ColumnKind::Count,
+                          [f = std::move(f)](const SweepRow &r) {
+                              return ColumnValue::ofCount(f(r));
+                          }};
+        };
+        auto real = [](std::string name, std::string unit,
+                       std::string desc,
+                       std::function<double(const SweepRow &)> f) {
+            return Column{std::move(name), std::move(unit),
+                          std::move(desc), ColumnKind::Real,
+                          [f = std::move(f)](const SweepRow &r) {
+                              return ColumnValue::ofReal(f(r));
+                          }};
+        };
+        s.add(count("act_pre", "DRAM activate/precharge pairs",
+                    [](const SweepRow &r) {
+                        return r.result.ops.actPre;
+                    }));
+        s.add(count("cas", "DRAM column accesses (rd+wr)",
+                    [](const SweepRow &r) {
+                        return r.result.ops.cas();
+                    }));
+        s.add(count("refresh", "DRAM auto-refresh commands",
+                    [](const SweepRow &r) {
+                        return r.result.ops.refresh;
+                    }));
+        s.add(real("dynamic_energy", "CAU",
+                   "dynamic energy over the window, column-access "
+                   "units (ACT/PRE weighted 4x per the Micron "
+                   "calibration)",
+                   [](const SweepRow &r) {
+                       return PowerModel{}.dynamicEnergy(r.result.ops);
+                   }));
+        s.add(real("dynamic_power", "CAU/s",
+                   "dynamic power over the window (the Fig. 13 "
+                   "numerator before normalisation)",
+                   [](const SweepRow &r) {
+                       return PowerModel{}.dynamicPower(
+                           r.result.ops, r.result.measuredTicks);
+                   }));
+        s.add(real("energy_per_inst", "CAU/inst",
+                   "dynamic energy per instruction in the window",
+                   [](const SweepRow &r) {
+                       const double insts = r.result.totalInsts();
+                       return insts > 0.0
+                           ? PowerModel{}.dynamicEnergy(r.result.ops)
+                               / insts
+                           : 0.0;
                    }));
         return s;
     }();

@@ -117,6 +117,15 @@ class ResultSchema
     static const ResultSchema &prefetchStats();
 
     /**
+     * The DRAM power block (Section 5.5): ACT/PRE and column-access
+     * counts with the PowerModel's dynamic energy/power over the
+     * measured window, in column-access units.  End-of-run companion
+     * to the per-epoch power.* telemetry gauges; a separate table
+     * because sweepRows() is a byte-for-byte compatibility surface.
+     */
+    static const ResultSchema &powerStats();
+
+    /**
      * Per-class latency-phase breakdown (the attribution layer's
      * aggregate over all channels): per transaction class, the sample
      * count, the mean end-to-end latency and the mean time spent in

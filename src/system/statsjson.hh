@@ -3,13 +3,21 @@
  * Machine-readable dump of everything a run measured — the input side
  * of the fbdp-report run-diff tool.
  *
- * One JSON document with five sections:
+ * One JSON document with seven sections:
  *   "run"       the canonical sweep-row columns (ResultSchema::
  *               sweepRows), so a stats dump can be diffed against
  *               sweep output directly;
  *   "latency"   per-class latency percentiles (latencyPercentiles);
  *   "kernel"    event-kernel profile (kernelStats) — host-time rates
- *               live only here, so a diff can ignore the section;
+ *               live only here, so a diff can ignore the section.
+ *               When the run was profiled (--profile-kernel) the
+ *               section additionally carries "shards": [...] and
+ *               "lanes": [...] (name-keyed, so fbdp-report flattens
+ *               them as kernel.shards.ch0.events etc.) plus the
+ *               event/busy imbalance summaries;
+ *   "power"     DRAM op counts and the PowerModel's dynamic
+ *               energy/power over the window (powerStats);
+ *   "prefetch"  the prefetch-policy quality block (prefetchStats);
  *   "breakdown" per-class latency-phase means (latencyBreakdown;
  *               zeros unless --attribution was on);
  *   "groups"    every StatGroup from System::buildStatGroups(), stat

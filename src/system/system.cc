@@ -7,8 +7,55 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "mc/transaction.hh"
+#include "sim/trace.hh"
 
 namespace fbdp {
+
+namespace {
+
+/** Host seconds between two steady-clock reads. */
+inline double
+secsBetween(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Max/mean of @p values (1.0 when balanced, 0 when degenerate). */
+double
+maxOverMean(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double sum = 0.0, mx = 0.0;
+    for (double v : values) {
+        sum += v;
+        mx = mx > v ? mx : v;
+    }
+    if (sum <= 0.0)
+        return 0.0;
+    return mx * static_cast<double>(values.size()) / sum;
+}
+
+} // namespace
+
+double
+KernelProfile::eventImbalance() const
+{
+    std::vector<double> ev;
+    for (std::size_t i = 1; i < shards.size(); ++i)
+        ev.push_back(static_cast<double>(shards[i].events));
+    return maxOverMean(ev);
+}
+
+double
+KernelProfile::busyImbalance() const
+{
+    std::vector<double> busy;
+    for (std::size_t i = 1; i < shards.size(); ++i)
+        busy.push_back(shards[i].busySeconds);
+    return maxOverMean(busy);
+}
 
 double
 RunResult::ipcSum() const
@@ -93,6 +140,8 @@ System::System(const SystemConfig &config)
         controllers.back()->setCompletionSink(this, ch);
     }
     EventQueue *coreQ = queues.front().get();
+    shardAcc.resize(1 + cfg.logicChannels);
+    profiling = cfg.profileKernel;
 
     memSys = std::make_unique<MemorySystem>(coreQ, map.get(),
                                             &controllers);
@@ -141,11 +190,25 @@ System::attachTracer(trace::Tracer *t)
     // (and race).  Traced runs therefore execute the staged schedule
     // on one lane — same schedule, same results, just serially.
     tracerAttached = t != nullptr;
+    tracer = t;
     for (unsigned ch = 0; ch < controllers.size(); ++ch)
         controllers[ch]->bindTracer(t, ch);
     hier->bindTracer(t);
     for (auto &c : cores)
         c->bindTracer(t);
+
+    // Kernel shard lanes: with the self-profiler on, a traced run also
+    // gets one track per shard (frame slices + per-round event counts)
+    // and a cross-shard traffic counter track, so the timeline shows
+    // where each frame's work ran alongside the transaction lifecycle.
+    kernelTracks.clear();
+    if (t && cfg.profileKernel) {
+        kernelTracks.push_back(t->track("kernel.core"));
+        for (unsigned ch = 0; ch < cfg.logicChannels; ++ch)
+            kernelTracks.push_back(t->track(csprintf("kernel.ch%u",
+                                                     ch)));
+        mailboxTrack = t->track("kernel.mailbox");
+    }
 }
 
 void
@@ -191,6 +254,15 @@ System::run()
     if (lanes > 1 && !pool)
         pool = std::make_unique<ThreadPool>(lanes - 1);
 
+    // Profile bookkeeping: one accumulator per lane, and the static
+    // shard->lane assignment (lane 0 owns the core shard; channels
+    // round-robin over lanes 1..L-1, everything on lane 0 serially).
+    lanesUsed = lanes;
+    laneAcc.assign(lanes, LaneAccum{});
+    shardAcc[0].lane = 0;
+    for (unsigned ch = 0; ch < cfg.logicChannels; ++ch)
+        shardAcc[1 + ch].lane = lanes > 1 ? 1 + ch % (lanes - 1) : 0;
+
     // Phase 1: warm up until the first core has executed warmupInsts.
     // Each phase runs whole rounds and stops at the frame barrier
     // after the notify fired, so both window edges are frame-aligned.
@@ -225,8 +297,20 @@ unsigned
 System::laneCount() const
 {
     unsigned lanes = cfg.threads < 1 ? 1 : cfg.threads;
-    if (tracerAttached || telemetryObserver)
+    if ((tracerAttached || telemetryObserver) && lanes > 1) {
+        // Loud, once per process: every runner reaches this clamp, and
+        // a silently serialized "parallel" run is exactly the mistake
+        // a user profiling wall-clock scaling would make.
+        static std::atomic<bool> observerClampWarned{false};
+        if (!observerClampWarned.exchange(true)) {
+            warn("an attached %s observer pins the sharded kernel to "
+                 "one lane: --threads %u runs serially (results are "
+                 "bit-identical; detach the observer to measure "
+                 "parallel wall-clock)",
+                 tracerAttached ? "trace" : "telemetry", lanes);
+        }
         lanes = 1;
+    }
     // One lane per shard at most: the core shard plus one per channel.
     const unsigned max_lanes = 1 + cfg.logicChannels;
     return lanes < max_lanes ? lanes : max_lanes;
@@ -235,52 +319,110 @@ System::laneCount() const
 void
 System::runRounds(unsigned lanes)
 {
+    using clk = std::chrono::steady_clock;
     stopRounds = false;
     if (lanes == 1) {
         // The exact same staged schedule, on the calling thread.
+        if (!profiling) {
+            while (!stopRounds) {
+                laneRound(0, 1);
+                endOfRound();
+            }
+            return;
+        }
+        // Profiled: three clock reads per round make the accounting
+        // telescope exactly — busy + drain == t1-t0 and the inline
+        // endOfRound() (the serial stand-in for the barrier hook) is
+        // t2-t1, so busy + drain + wait == wall by construction.
+        LaneAccum &la = laneAcc[0];
         while (!stopRounds) {
-            laneRound(0, 1);
+            const auto t0 = clk::now();
+            const double drain = laneRound(0, 1);
+            const auto t1 = clk::now();
             endOfRound();
+            const auto t2 = clk::now();
+            ++la.rounds;
+            ++la.lastArrivals;
+            la.busySeconds += secsBetween(t0, t1) - drain;
+            la.drainSeconds += drain;
+            la.barrierWaitSeconds += secsBetween(t1, t2);
+            la.wallSeconds += secsBetween(t0, t2);
         }
         return;
     }
 
     SpinBarrier barrier(lanes);
     const auto on_last = [this] { endOfRound(); };
+    const auto laneLoop = [this, lanes, &barrier, on_last](
+                              unsigned lane) {
+        if (!profiling) {
+            for (;;) {
+                laneRound(lane, lanes);
+                barrier.arriveAndWait(on_last);
+                if (stopRounds)
+                    return;
+            }
+        }
+        LaneAccum &la = laneAcc[lane];
+        for (;;) {
+            const auto t0 = clk::now();
+            const double drain = laneRound(lane, lanes);
+            const auto t1 = clk::now();
+            const SpinBarrier::Release rel =
+                barrier.arriveAndWait(on_last);
+            const auto t2 = clk::now();
+            ++la.rounds;
+            la.busySeconds += secsBetween(t0, t1) - drain;
+            la.drainSeconds += drain;
+            la.barrierWaitSeconds += secsBetween(t1, t2);
+            la.wallSeconds += secsBetween(t0, t2);
+            switch (rel) {
+              case SpinBarrier::Release::Last:
+                ++la.lastArrivals;
+                break;
+              case SpinBarrier::Release::Spin:
+                ++la.spinReleases;
+                break;
+              case SpinBarrier::Release::Yield:
+                ++la.yieldReleases;
+                break;
+              case SpinBarrier::Release::Sleep:
+                ++la.sleepReleases;
+                break;
+            }
+            if (stopRounds)
+                return;
+        }
+    };
     std::vector<std::future<void>> lanes_done;
-    for (unsigned lane = 1; lane < lanes; ++lane) {
+    for (unsigned lane = 1; lane < lanes; ++lane)
         lanes_done.push_back(pool->submit(
-            [this, lane, lanes, &barrier, on_last] {
-                for (;;) {
-                    laneRound(lane, lanes);
-                    barrier.arriveAndWait(on_last);
-                    if (stopRounds)
-                        return;
-                }
-            }));
-    }
-    for (;;) {
-        laneRound(0, lanes);
-        barrier.arriveAndWait(on_last);
-        if (stopRounds)
-            break;
-    }
+            [laneLoop, lane] { laneLoop(lane); }));
+    laneLoop(0);
     for (auto &f : lanes_done)
         f.get();
 }
 
-void
+double
 System::laneRound(unsigned lane, unsigned lanes)
 {
+    using clk = std::chrono::steady_clock;
     const Tick start = static_cast<Tick>(curRound) * frame;
     const Tick limit = start + frame - 1;
+    double drain = 0.0;
+    std::uint64_t roundMsgs = 0;
 
     if (lane == 0) {
         // The core/cache shard: deliver last round's completions.
         EventQueue &q = *queues.front();
         q.advanceTo(start);
+        clk::time_point d0;
+        if (profiling)
+            d0 = clk::now();
+        std::uint64_t got = 0;
         for (auto &sh : shards) {
             auto &in = sh.doneBox.inbox(curRound);
+            got += in.size();
             for (CompleteMsg &m : in) {
                 // One frame of hand-off latency, preserving the
                 // completions' relative spacing and FIFO order.
@@ -292,13 +434,27 @@ System::laneRound(unsigned lane, unsigned lanes)
             }
             in.clear();
         }
+        shardAcc[0].drained += got;
+        roundMsgs += got;
         if (!pendingDone.empty()
             && (!deliverEvent.scheduled()
                 || deliverEvent.when()
                        > pendingDone.front().deliverAt)) {
             q.schedule(&deliverEvent, pendingDone.front().deliverAt);
         }
-        q.run(limit);
+        if (!profiling) {
+            q.run(limit);
+        } else {
+            const auto b0 = clk::now();
+            const std::uint64_t before = q.dispatched();
+            q.run(limit);
+            const auto b1 = clk::now();
+            const double d = secsBetween(d0, b0);
+            shardAcc[0].drainSeconds += d;
+            drain += d;
+            shardAcc[0].busySeconds += secsBetween(b0, b1);
+            traceShardRound(0, start, q.dispatched() - before);
+        }
     }
 
     if (lanes == 1 || lane > 0) {
@@ -311,12 +467,59 @@ System::laneRound(unsigned lane, unsigned lanes)
             EventQueue &q = *queues[1 + ch];
             q.advanceTo(start);
             auto &in = shards[ch].pushBox.inbox(curRound);
+            // An idle shard (nothing staged, nothing scheduled) can
+            // dispatch nothing this round; skipping it costs no
+            // events and keeps the profiler's clock reads off the
+            // quiet channels.  Its clock re-aligns at the next
+            // advanceTo.
+            if (in.empty() && q.empty())
+                continue;
+            ShardAccum &sa = shardAcc[1 + ch];
+            sa.drained += in.size();
+            roundMsgs += in.size();
+            if (!profiling) {
+                for (PushMsg &m : in)
+                    controllers[ch]->pushAt(std::move(m.t), m.sentAt);
+                in.clear();
+                q.run(limit);
+                continue;
+            }
+            const auto d0 = clk::now();
             for (PushMsg &m : in)
                 controllers[ch]->pushAt(std::move(m.t), m.sentAt);
             in.clear();
+            const auto b0 = clk::now();
+            const std::uint64_t before = q.dispatched();
             q.run(limit);
+            const auto b1 = clk::now();
+            const double d = secsBetween(d0, b0);
+            sa.drainSeconds += d;
+            drain += d;
+            sa.busySeconds += secsBetween(b0, b1);
+            traceShardRound(1 + ch, start, q.dispatched() - before);
         }
     }
+
+    if (profiling && tracer && !kernelTracks.empty() && roundMsgs)
+        tracer->counter(mailboxTrack, "cross_shard_msgs", start,
+                        roundMsgs);
+    return drain;
+}
+
+void
+System::traceShardRound(unsigned shard, Tick start,
+                        std::uint64_t events)
+{
+    if (!tracer || kernelTracks.empty() || events == 0)
+        return;
+    // One frame slice per active shard per round, plus the round's
+    // dispatch count as a counter series.  Tracing forces one lane,
+    // so pushes are ordered; exportJson's stable sort keeps the end
+    // of one slice ahead of the next slice's begin at the same tick.
+    const std::uint32_t trk = kernelTracks[shard];
+    tracer->begin(trk, "frame", start);
+    tracer->counter(trk, "events", start, events);
+    tracer->end(trk, "frame", start + frame);
 }
 
 void
@@ -380,6 +583,51 @@ System::deliverFire()
     }
     if (!pendingDone.empty())
         q.schedule(&deliverEvent, pendingDone.front().deliverAt);
+}
+
+double
+System::kernelBusySeconds() const
+{
+    double s = 0.0;
+    for (const ShardAccum &sa : shardAcc)
+        s += sa.busySeconds;
+    return s;
+}
+
+double
+System::kernelDrainSeconds() const
+{
+    double s = 0.0;
+    for (const ShardAccum &sa : shardAcc)
+        s += sa.drainSeconds;
+    return s;
+}
+
+double
+System::kernelBarrierWaitSeconds() const
+{
+    double s = 0.0;
+    for (const LaneAccum &la : laneAcc)
+        s += la.barrierWaitSeconds;
+    return s;
+}
+
+std::uint64_t
+System::mailboxMessagesPosted() const
+{
+    std::uint64_t n = 0;
+    for (const ChannelShard &sh : shards)
+        n += sh.pushBox.posted() + sh.doneBox.posted();
+    return n;
+}
+
+std::uint64_t
+System::kernelEventsDispatched() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues)
+        n += q->dispatched();
+    return n;
 }
 
 Tick
@@ -692,6 +940,54 @@ System::collect(Tick window_ticks) const
         r.kernel.reschedules += qc.reschedules;
         r.kernel.deschedules += qc.deschedules;
         r.kernel.peakQueueDepth += qc.peakDepth;
+        r.kernel.batchDrains += qc.batchDrains;
+        r.kernel.batchedEvents += qc.batchedDispatched;
+    }
+    r.kernel.profiled = profiling;
+    if (profiling) {
+        for (std::size_t i = 0; i < queues.size(); ++i) {
+            const EventQueue::Counters &qc = queues[i]->counters();
+            ShardProfile sp;
+            sp.name = i == 0
+                ? "core"
+                : csprintf("ch%zu", i - 1);
+            sp.lane = shardAcc[i].lane;
+            sp.events = qc.dispatched;
+            sp.schedules = qc.schedules;
+            sp.reschedules = qc.reschedules;
+            sp.deschedules = qc.deschedules;
+            sp.peakQueueDepth = qc.peakDepth;
+            sp.batchDrains = qc.batchDrains;
+            sp.batchedEvents = qc.batchedDispatched;
+            sp.mailboxIn = shardAcc[i].drained;
+            if (i == 0) {
+                // The core shard posts requests into every pushBox.
+                for (const ChannelShard &sh : shards)
+                    sp.mailboxOut += sh.pushBox.posted();
+            } else {
+                sp.mailboxOut = shards[i - 1].doneBox.posted();
+            }
+            sp.busySeconds = shardAcc[i].busySeconds;
+            sp.drainSeconds = shardAcc[i].drainSeconds;
+            r.kernel.shards.push_back(std::move(sp));
+        }
+        for (unsigned l = 0; l < lanesUsed; ++l) {
+            const LaneAccum &a = laneAcc[l];
+            LaneProfile lp;
+            lp.lane = l;
+            for (const ShardAccum &sa : shardAcc)
+                lp.shardsOwned += sa.lane == l ? 1 : 0;
+            lp.rounds = a.rounds;
+            lp.busySeconds = a.busySeconds;
+            lp.drainSeconds = a.drainSeconds;
+            lp.barrierWaitSeconds = a.barrierWaitSeconds;
+            lp.wallSeconds = a.wallSeconds;
+            lp.lastArrivals = a.lastArrivals;
+            lp.spinReleases = a.spinReleases;
+            lp.yieldReleases = a.yieldReleases;
+            lp.sleepReleases = a.sleepReleases;
+            r.kernel.lanes.push_back(lp);
+        }
     }
     // The pool is thread-local and shared by every System this thread
     // has run, so the counters are cumulative across runs; high water

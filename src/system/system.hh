@@ -31,12 +31,76 @@ namespace fbdp {
 class System;
 
 /**
+ * Kernel profile of one event-queue shard: its queue counters, the
+ * mailbox traffic it drained and posted, and — when
+ * SystemConfig::profileKernel timed the run — the host time it spent
+ * dispatching vs draining.  Shard 0 is the core/cache shard ("core"),
+ * shard 1+ch drives logic channel ch ("chN").  The count fields are
+ * deterministic and thread-count-invariant (the staged schedule is
+ * identical on every lane layout); only the *Seconds fields are host
+ * facts.
+ */
+struct ShardProfile
+{
+    std::string name;           ///< "core" or "chN"
+    unsigned lane = 0;          ///< lane that ran this shard
+
+    std::uint64_t events = 0;         ///< callbacks dispatched
+    std::uint64_t schedules = 0;
+    std::uint64_t reschedules = 0;
+    std::uint64_t deschedules = 0;
+    std::uint64_t peakQueueDepth = 0;
+    std::uint64_t batchDrains = 0;    ///< same-tick batch extractions
+    std::uint64_t batchedEvents = 0;  ///< events dispatched batched
+
+    std::uint64_t mailboxIn = 0;   ///< messages drained by this shard
+    std::uint64_t mailboxOut = 0;  ///< messages it posted cross-shard
+
+    double busySeconds = 0.0;   ///< host time dispatching events
+    double drainSeconds = 0.0;  ///< host time draining mailboxes
+};
+
+/**
+ * Kernel profile of one worker lane.  Per round, the lane's wall time
+ * telescopes exactly: busy + drain + barrierWait == wall (the three
+ * are measured from the same clock reads), so a conservation check
+ * needs only floating-point tolerance.  rounds is deterministic;
+ * everything else is a host fact, and the release counters depend on
+ * OS scheduling.
+ */
+struct LaneProfile
+{
+    unsigned lane = 0;
+    unsigned shardsOwned = 0;   ///< shards this lane executed
+
+    std::uint64_t rounds = 0;   ///< frame rounds executed
+
+    double busySeconds = 0.0;        ///< in laneRound, minus drains
+    double drainSeconds = 0.0;       ///< mailbox drain share
+    double barrierWaitSeconds = 0.0; ///< arrive to release (+ hook)
+    double wallSeconds = 0.0;        ///< busy + drain + barrierWait
+
+    /** Release-path census of this lane's barrier arrivals (serial
+     *  runs count every round as a last arrival — the "hook" is the
+     *  inline endOfRound() call). */
+    std::uint64_t lastArrivals = 0;
+    std::uint64_t spinReleases = 0;
+    std::uint64_t yieldReleases = 0;
+    std::uint64_t sleepReleases = 0;
+};
+
+/**
  * Event-kernel activity of one simulation: queue counters, transaction
  * pool occupancy and the host time spent inside the event-driven
  * phases (timed warm-up + measurement; construction and the functional
  * cache warm-up are excluded, they run no events).  Collected on every
  * run — the counters are maintained on the hot path anyway — and
  * reported by `fbdpsim --profile` and ResultSchema::kernelStats().
+ *
+ * The per-shard and per-lane vectors are filled only when
+ * SystemConfig::profileKernel asked for the timed self-profile
+ * (`fbdpsim --profile-kernel`); the aggregate counters are always
+ * collected.
  */
 struct KernelProfile
 {
@@ -45,6 +109,8 @@ struct KernelProfile
     std::uint64_t reschedules = 0;   ///< schedule() of a live event
     std::uint64_t deschedules = 0;
     std::uint64_t peakQueueDepth = 0;
+    std::uint64_t batchDrains = 0;   ///< same-tick batch extractions
+    std::uint64_t batchedEvents = 0; ///< events dispatched batched
 
     std::uint64_t poolAcquires = 0;   ///< transactions handed out
     std::uint64_t poolReuses = 0;     ///< acquires served by freelist
@@ -52,6 +118,25 @@ struct KernelProfile
     std::uint64_t poolCapacity = 0;   ///< objects ever carved
 
     double hostEventSeconds = 0.0;    ///< wall time in the event loop
+
+    /** True when the run was timed per shard/lane (the vectors below
+     *  are filled). */
+    bool profiled = false;
+    std::vector<ShardProfile> shards; ///< [0]=core, [1+ch]=channel ch
+    std::vector<LaneProfile> lanes;   ///< [0]=calling thread
+
+    /**
+     * Max/mean dispatched events over the *channel* shards: 1.0 is a
+     * perfectly balanced channel load, 2.0 means the hottest channel
+     * dispatches twice the average.  Deterministic and thread-count
+     * invariant — the CI imbalance gate compares it at tolerance 0
+     * across thread counts.  0 when unprofiled or single-channel.
+     */
+    double eventImbalance() const;
+
+    /** Max/mean busy host seconds over the channel shards (the wall-
+     *  clock skew the barrier has to absorb).  Host fact. */
+    double busyImbalance() const;
 
     /** Dispatch throughput over the event-driven phases. */
     double eventsPerSec() const
@@ -267,6 +352,21 @@ class System : private CompletionSink
      */
     void setTelemetryObserver(bool on) { telemetryObserver = on; }
 
+    // Live kernel-profile reads for the telemetry sampler (all shards
+    // are mid-round consistent on the single observer lane).  The
+    // seconds accessors return 0 unless cfg.profileKernel timed the
+    // run; the message/event counts are always maintained.
+    /** Host seconds spent dispatching, all shards so far. */
+    double kernelBusySeconds() const;
+    /** Host seconds spent draining mailboxes, all shards so far. */
+    double kernelDrainSeconds() const;
+    /** Host seconds lanes spent at the round barrier so far. */
+    double kernelBarrierWaitSeconds() const;
+    /** Cross-shard mailbox messages posted so far (both directions). */
+    std::uint64_t mailboxMessagesPosted() const;
+    /** Event callbacks dispatched so far, all shards. */
+    std::uint64_t kernelEventsDispatched() const;
+
     // Component access for tests and custom experiments.
     /** The core/cache shard's queue — the clock observers live by. */
     EventQueue &eventQueue() { return *queues.front(); }
@@ -343,8 +443,16 @@ class System : private CompletionSink
     void runRounds(unsigned lanes);
 
     /** One lane's share of round curRound: advance, drain mailboxes,
-     *  dispatch one frame on every owned shard. */
-    void laneRound(unsigned lane, unsigned lanes);
+     *  dispatch one frame on every owned shard.  @return the host
+     *  seconds this round spent draining mailboxes (0 unless
+     *  profiling) so the caller can split busy from drain without a
+     *  fourth clock read. */
+    double laneRound(unsigned lane, unsigned lanes);
+
+    /** Emit one shard's frame slice + event counter for this round
+     *  (no-op unless a tracer is attached with profiling on). */
+    void traceShardRound(unsigned shard, Tick start,
+                         std::uint64_t events);
 
     /** Barrier hook, run by exactly one thread between rounds. */
     void endOfRound();
@@ -377,6 +485,46 @@ class System : private CompletionSink
 
     /** Workers for lanes 1..L-1; lane 0 is the calling thread. */
     std::unique_ptr<ThreadPool> pool;
+
+    // --- kernel self-profiling (SystemConfig::profileKernel) ---
+    /** Host-time and traffic accumulators of one shard. */
+    struct ShardAccum
+    {
+        std::uint64_t drained = 0;  ///< mailbox messages drained
+        double busySeconds = 0.0;
+        double drainSeconds = 0.0;
+        unsigned lane = 0;          ///< owning lane of the last run
+    };
+    /** Host-time accumulators of one lane (see LaneProfile). */
+    struct LaneAccum
+    {
+        std::uint64_t rounds = 0;
+        double busySeconds = 0.0;
+        double drainSeconds = 0.0;
+        double barrierWaitSeconds = 0.0;
+        double wallSeconds = 0.0;
+        std::uint64_t lastArrivals = 0;
+        std::uint64_t spinReleases = 0;
+        std::uint64_t yieldReleases = 0;
+        std::uint64_t sleepReleases = 0;
+    };
+    /** shardAcc[0] = core shard, shardAcc[1+ch] = channel ch.  The
+     *  drained counts are always maintained (one add per drain); the
+     *  seconds only when profiling.  Each entry is written by exactly
+     *  one lane per round and read after a barrier. */
+    std::vector<ShardAccum> shardAcc;
+    std::vector<LaneAccum> laneAcc;   ///< sized by run() to laneCount
+    /** Lanes the last run() used (shapes KernelProfile::lanes). */
+    unsigned lanesUsed = 1;
+    /** cfg.profileKernel, cached for the hot round loop. */
+    bool profiling = false;
+
+    /** Per-round trace emission for the kernel shard lanes (tracer
+     *  attached + profiling on): one interned track per shard plus a
+     *  cross-shard traffic counter track. */
+    std::vector<std::uint32_t> kernelTracks;
+    std::uint32_t mailboxTrack = 0;
+    trace::Tracer *tracer = nullptr;
 
     /** Completion hand-off between controllers and cores when
      *  attribution is enabled (see mc/attribution.hh). */

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "power/power_model.hh"
 
 namespace fbdp {
 
@@ -134,6 +135,56 @@ TelemetrySampler::TelemetrySampler(System &system, Tick epoch_ticks,
                      : 0.0;
              });
 
+    // Section 5.5 power gauges: the PowerModel applied to this
+    // epoch's DRAM op deltas, summed over all channels.  Energy is in
+    // column-access units (CAU), power in CAU per simulated second.
+    const double epochSecs = epochD * 1e-12;
+    addGauge("power.ops",
+             "DRAM operations this epoch (ACT/PRE + CAS + refresh), "
+             "all channels",
+             [this] {
+                 return pwScr.dActPre + pwScr.dRdCas + pwScr.dWrCas
+                     + pwScr.dRefresh;
+             });
+    addGauge("power.energy",
+             "dynamic DRAM energy this epoch, column-access units",
+             [this] {
+                 return PowerModel{}.actPreToCasRatio() * pwScr.dActPre
+                     + pwScr.dRdCas + pwScr.dWrCas;
+             });
+    addGauge("power.dynamic",
+             "dynamic DRAM power this epoch, column-access units per "
+             "simulated second",
+             [this, epochSecs] {
+                 return (PowerModel{}.actPreToCasRatio()
+                             * pwScr.dActPre
+                         + pwScr.dRdCas + pwScr.dWrCas) / epochSecs;
+             });
+
+    // Kernel self-profile gauges.  The fractions relate the profiler's
+    // per-shard host seconds to the host wall-clock time between two
+    // samples; they read 0 unless the run was started with
+    // --profile-kernel.  Mailbox traffic is counted unconditionally.
+    addGauge("kernel.busy_frac",
+             "fraction of host wall time spent dispatching events "
+             "since the last sample (0 unless --profile-kernel)",
+             [this] {
+                 return krnScr.dWall > 0.0
+                     ? (krnScr.dBusy + krnScr.dDrain) / krnScr.dWall
+                     : 0.0;
+             });
+    addGauge("kernel.barrier_wait_frac",
+             "fraction of host wall time spent waiting at the round "
+             "barrier since the last sample (0 unless "
+             "--profile-kernel)",
+             [this] {
+                 return krnScr.dWall > 0.0
+                     ? krnScr.dWait / krnScr.dWall : 0.0;
+             });
+    addGauge("kernel.mailbox_msgs",
+             "cross-shard mailbox messages posted this epoch",
+             [this] { return krnScr.dPosted; });
+
     for (size_t i = 0; i < coreScr.size(); ++i) {
         const CoreScratch *scr = &coreScr[i];
         const std::string pfx = csprintf("cpu%zu.", i);
@@ -246,6 +297,32 @@ TelemetrySampler::takeSample(Tick at)
                 issued += t->prefetchesIssued();
         }
         pfScr.dIssued = guardedDelta(issued, pfScr.prevIssued);
+    }
+    {
+        DramOpCounts ops;
+        for (unsigned c = 0; c < sys.numControllers(); ++c)
+            ops += sys.controller(c).dramOps();
+        pwScr.dActPre = guardedDelta(ops.actPre, pwScr.prevActPre);
+        pwScr.dRdCas = guardedDelta(ops.rdCas, pwScr.prevRdCas);
+        pwScr.dWrCas = guardedDelta(ops.wrCas, pwScr.prevWrCas);
+        pwScr.dRefresh = guardedDelta(ops.refresh, pwScr.prevRefresh);
+    }
+    {
+        krnScr.dBusy =
+            guardedDelta(sys.kernelBusySeconds(), krnScr.prevBusy);
+        krnScr.dDrain =
+            guardedDelta(sys.kernelDrainSeconds(), krnScr.prevDrain);
+        krnScr.dWait = guardedDelta(sys.kernelBarrierWaitSeconds(),
+                                    krnScr.prevWait);
+        krnScr.dPosted = guardedDelta(sys.mailboxMessagesPosted(),
+                                      krnScr.prevPosted);
+        const auto wall = std::chrono::steady_clock::now();
+        krnScr.dWall = krnScr.wallValid
+            ? std::chrono::duration<double>(wall - krnScr.prevWall)
+                  .count()
+            : 0.0;
+        krnScr.prevWall = wall;
+        krnScr.wallValid = true;
     }
 
     const double tNs =

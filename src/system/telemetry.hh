@@ -19,6 +19,7 @@
 #ifndef FBDP_SYSTEM_TELEMETRY_HH
 #define FBDP_SYSTEM_TELEMETRY_HH
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <ostream>
@@ -123,6 +124,42 @@ class TelemetrySampler
         double dIssued = 0.0;
     };
 
+    /** Delta baselines / per-epoch DRAM op counts for the power.*
+     *  gauges, summed over every channel. */
+    struct PowerScratch
+    {
+        std::uint64_t prevActPre = 0;
+        std::uint64_t prevRdCas = 0;
+        std::uint64_t prevWrCas = 0;
+        std::uint64_t prevRefresh = 0;
+        double dActPre = 0.0;
+        double dRdCas = 0.0;
+        double dWrCas = 0.0;
+        double dRefresh = 0.0;
+    };
+
+    /** Delta baselines / per-epoch values of the kernel.* gauges.
+     *  The busy / barrier-wait fractions divide the kernel profiler's
+     *  accumulated host seconds by the host wall-clock time between
+     *  two samples, so they read 0 unless the run was started with
+     *  SystemConfig::profileKernel (the mailbox counter is always
+     *  maintained). */
+    struct KernelScratch
+    {
+        double prevBusy = 0.0;
+        double prevDrain = 0.0;
+        double prevWait = 0.0;
+        std::uint64_t prevPosted = 0;
+        std::chrono::steady_clock::time_point prevWall{};
+        bool wallValid = false;
+
+        double dBusy = 0.0;
+        double dDrain = 0.0;
+        double dWait = 0.0;
+        double dWall = 0.0;
+        double dPosted = 0.0;
+    };
+
     void fire();
     void takeSample(Tick at);
     void addGauge(const std::string &gauge_name,
@@ -144,6 +181,8 @@ class TelemetrySampler
     std::vector<ChannelCur> chCur;
     std::vector<CoreScratch> coreScr;
     PrefetchScratch pfScr;
+    PowerScratch pwScr;
+    KernelScratch krnScr;
 
     stats::StatGroup group{"telemetry"};
     std::vector<std::unique_ptr<stats::Formula>> formulas;

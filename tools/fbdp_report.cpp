@@ -21,6 +21,13 @@
  *   --lower-better        only a rise beyond tolerance is a regression
  *   --strict              keys present on one side only also fail
  *   --verbose             list every changed key and missing key
+ *   --profile             kernel-profile preset: compare only the
+ *                         per-shard counters and the channel event
+ *                         imbalance (kernel.shards.*, deterministic
+ *                         and thread-count invariant), skipping host
+ *                         seconds, rates and lane assignments — the
+ *                         shape for gating two --profile-kernel dumps
+ *                         against each other
  *
  * Exit status: 0 no regression, 1 regression found, 2 usage or IO
  * error — so CI can tell "the metric got worse" apart from "the
@@ -52,6 +59,10 @@ usage(const char *argv0)
         << "  --lower-better       only rises are regressions\n"
         << "  --strict             one-sided keys also fail\n"
         << "  --verbose            list all changes and missing keys\n"
+        << "  --profile            preset: only the deterministic\n"
+        << "                       kernel.shards counters + event\n"
+        << "                       imbalance (skips host time, rates\n"
+        << "                       and lane assignments)\n"
         << "exit: 0 ok, 1 regression, 2 usage/IO error\n";
     return 2;
 }
@@ -98,6 +109,17 @@ main(int argc, char **argv)
             opt.direction = DiffDirection::LowerBetter;
         } else if (arg == "--strict") {
             opt.strict = true;
+        } else if (arg == "--profile") {
+            // The kernel self-profile's deterministic slice: per-shard
+            // event/queue/mailbox counters and the channel imbalance
+            // summary compare exactly across thread counts; host
+            // seconds, derived rates and the shard->lane assignment
+            // are host/schedule facts and are skipped.
+            opt.only.push_back("kernel.shards.");
+            opt.only.push_back("kernel.event_imbalance");
+            opt.ignore.push_back("_seconds");
+            opt.ignore.push_back("per_sec");
+            opt.ignore.push_back(".lane");
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--help" || arg == "-h") {

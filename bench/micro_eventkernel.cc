@@ -43,6 +43,8 @@
 #include "system/config.hh"
 #include "system/runner.hh"
 #include "workload/mixes.hh"
+#include "workload/trace_file.hh"
+#include "workload/trace_stream.hh"
 
 namespace {
 
@@ -574,6 +576,148 @@ BM_FullSystemSimRateTraced(benchmark::State &state)
             : 0.0);
 }
 BENCHMARK(BM_FullSystemSimRateTraced)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- //
+// Trace-ingest throughput: ops parsed per host second over one      //
+// recorded trace.  TraceIngestTextLegacy is the seed loader         //
+// (getline + sscanf via parseTraceOp); TraceIngestText is the       //
+// chunked hand-rolled parser behind the streaming frontend;         //
+// TraceIngestFbt decodes the fixed-width binary format.  Decoding   //
+// runs synchronously here (no background worker) so the rows        //
+// measure parse cost, not overlap.                                  //
+// ---------------------------------------------------------------- //
+
+std::string
+benchTmpFile(const char *name)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp && *tmp ? tmp : "/tmp") + "/" + name;
+}
+
+/** One recorded text trace, shared by every ingest row. */
+const std::string &
+ingestTextTrace()
+{
+    static const std::string path = [] {
+        std::string p = benchTmpFile("fbdp_bench_ingest.trace");
+        SyntheticGenerator gen(benchProfile("swim"), 0, 42, true);
+        TraceWriter w(p, TraceFormat::Text, false, "swim");
+        for (int i = 0; i < 200'000; ++i)
+            w.append(gen.next());
+        w.close();
+        return p;
+    }();
+    return path;
+}
+
+/** The same trace converted to .fbt. */
+const std::string &
+ingestFbtTrace()
+{
+    static const std::string path = [] {
+        std::string p = benchTmpFile("fbdp_bench_ingest.fbt");
+        TraceSpec spec;
+        spec.path = ingestTextTrace();
+        TracePassReader in(spec);
+        TraceWriter w(p, TraceFormat::Fbt, false, "swim");
+        TraceOp op;
+        while (in.next(&op))
+            w.append(op);
+        w.close();
+        return p;
+    }();
+    return path;
+}
+
+void
+BM_TraceIngestTextLegacy(benchmark::State &state)
+{
+    const std::string &path = ingestTextTrace();
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        std::ifstream in(path);
+        std::string line;
+        TraceOp op;
+        std::uint64_t line_no = 0;
+        while (std::getline(in, line)) {
+            ++line_no;
+            if (parseTraceOp(line, &op, line_no)) {
+                benchmark::DoNotOptimize(op);
+                ++ops;
+            }
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceIngestTextLegacy)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceIngestText(benchmark::State &state)
+{
+    TraceSpec spec;
+    spec.path = ingestTextTrace();
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        TracePassReader in(spec, /*background=*/false);
+        TraceOp op;
+        while (in.next(&op)) {
+            benchmark::DoNotOptimize(op);
+            ++ops;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceIngestText)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceIngestFbt(benchmark::State &state)
+{
+    TraceSpec spec;
+    spec.path = ingestFbtTrace();
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        TracePassReader in(spec, /*background=*/false);
+        TraceOp op;
+        while (in.next(&op)) {
+            benchmark::DoNotOptimize(op);
+            ++ops;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceIngestFbt)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------- //
+// Full-system sim rate on a trace-bound config: the same file       //
+// replayed in-RAM (arg 0) vs streamed with overlapped decode        //
+// (arg 1).  items/sec is simulated insts per host second; the       //
+// streamed row includes all chunk decoding on the fly where the     //
+// in-RAM row pays a full materialisation per iteration (System      //
+// construction) instead.                                            //
+// ---------------------------------------------------------------- //
+
+void
+BM_TraceReplaySimRate(benchmark::State &state)
+{
+    const bool streamed = state.range(0) != 0;
+    SystemConfig cfg = SystemConfig::fbdAp();
+    cfg.measureInsts = 20'000;
+    cfg.warmupInsts = 5'000;
+    cfg.benchmarks = {
+        streamed ? "trace:" + ingestTextTrace()
+                 : "trace:" + ingestTextTrace() + ",stream=off"};
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        System sys(cfg);
+        RunResult r = sys.run();
+        insts += r.runInsts;
+        benchmark::DoNotOptimize(r.ipcSum());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_TraceReplaySimRate)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

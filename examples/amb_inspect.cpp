@@ -102,7 +102,7 @@ main(int argc, char **argv)
 
     std::uint64_t sOps = 0, sCross = 0, hOps = 0, cOps = 0, pOps = 0;
     for (unsigned i = 0; i < static_cast<unsigned>(r.ipc.size()); ++i) {
-        const auto &g = sys.generator(i);
+        const auto &g = sys.syntheticGenerator(i);
         sOps += g.streamOps();
         sCross += g.streamLineCrossings();
         hOps += g.hotOps();

@@ -6,7 +6,14 @@
  *
  * Options:
  *   --mix NAME        workload mix (default 2C-1; see Table 3 names,
- *                     or 1C-<bench> for single programs)
+ *                     or 1C-<bench> for single programs), or a trace
+ *                     spec "trace:PATH[,stream=on|off][,chunk=N[k|m]]
+ *                     [,format=auto|text|fbt]" replaying a recorded
+ *                     trace (text, .fbt, or gzip of either) on every
+ *                     core — see --cores
+ *   --cores N         cores replaying a trace spec (default 1; they
+ *                     share one stream/decode pipeline); only valid
+ *                     with --mix trace:...
  *   --machine M       ddr2 | fbd | fbd-ap        (default fbd-ap)
  *   --channels N      logic channels             (default 2)
  *   --dimms N         DIMMs per channel          (default 4)
@@ -76,6 +83,7 @@
 #include "system/statsjson.hh"
 #include "system/telemetry.hh"
 #include "workload/mixes.hh"
+#include "workload/trace_stream.hh"
 
 namespace {
 
@@ -106,7 +114,7 @@ main(int argc, char **argv)
          apfl = false, verbose = false, profile = false,
          profile_kernel = false, attribution = false;
     unsigned channels = 2, dimms = 4, rate = 667, k = 4,
-             entries = 64, ways = 0;
+             entries = 64, ways = 0, trace_cores = 1;
     std::uint64_t seed = 1;
     std::string trace_out, trace_filter, telemetry_out, epoch_spec,
         stats_json, amb_policy, mc_policy, threads_arg;
@@ -131,6 +139,8 @@ main(int argc, char **argv)
         const char *a = argv[i];
         if (!std::strcmp(a, "--mix"))
             mix_name = need(i);
+        else if (!std::strcmp(a, "--cores"))
+            trace_cores = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(a, "--machine"))
             machine = need(i);
         else if (!std::strcmp(a, "--channels"))
@@ -260,7 +270,25 @@ main(int argc, char **argv)
     // When a trace/telemetry observer pins the kernel to one lane,
     // System::laneCount() warns loudly the first time it happens.
 
-    const WorkloadMix &mix = mixByName(mix_name);
+    // A trace spec replaces the named mix: N cores (--cores) replay
+    // the same file, sharing one stream cursor / loaded vector.
+    WorkloadMix trace_mix;
+    const bool trace_workload = TraceSpec::isTraceSpec(mix_name);
+    if (trace_workload) {
+        if (trace_cores < 1) {
+            std::cerr << "fbdpsim: --cores must be at least 1\n";
+            return 2;
+        }
+        const TraceSpec spec = TraceSpec::parse(mix_name);
+        trace_mix.name = spec.canonicalName();
+        trace_mix.benches.assign(trace_cores, mix_name);
+    } else if (trace_cores != 1) {
+        std::cerr << "fbdpsim: --cores only applies to --mix "
+                     "trace:...\n";
+        return 2;
+    }
+    const WorkloadMix &mix =
+        trace_workload ? trace_mix : mixByName(mix_name);
     cfg.benchmarks = mix.benches;
     System sys(cfg);
 
@@ -315,7 +343,11 @@ main(int argc, char **argv)
 
     TextTable per_core({"core", "benchmark", "IPC", "insts"});
     for (size_t i = 0; i < r.ipc.size(); ++i) {
-        per_core.addRow({std::to_string(i), mix.benches[i],
+        // Trace specs print option-free so streamed and in-RAM
+        // replays of one file produce identical output.
+        per_core.addRow({std::to_string(i),
+                         trace_workload ? trace_mix.name
+                                        : mix.benches[i],
                          fmtD(r.ipc[i]),
                          std::to_string(r.insts[i])});
     }

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <ostream>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "mc/transaction.hh"
 #include "sim/trace.hh"
+#include "workload/trace_file.hh"
+#include "workload/trace_stream.hh"
 
 namespace fbdp {
 
@@ -154,12 +157,42 @@ System::System(const SystemConfig &config)
 
     // Each core owns a disjoint 4 GB slice of the physical space; the
     // interleaving spreads every slice across all channels and banks.
+    //
+    // Benchmark slots name either a synthetic profile or a recorded
+    // trace ("trace:PATH[,options]").  Cores replaying the same file
+    // share one loaded op vector (in-RAM mode) or one TraceStream —
+    // file handle, decode pipeline and chunk window (streaming mode);
+    // the first spec mentioning a path fixes that file's options.
     constexpr Addr slice = 1ull << 32;
+    std::map<std::string,
+             std::shared_ptr<const std::vector<TraceOp>>> traceOps;
+    std::map<std::string, std::shared_ptr<TraceStream>> traceStreams;
     for (unsigned i = 0; i < cfg.nCores(); ++i) {
-        const BenchProfile &prof = benchProfile(cfg.benchmarks[i]);
-        gens.push_back(std::make_unique<SyntheticGenerator>(
-            prof, static_cast<Addr>(i) * slice,
-            cfg.seed * 1000 + i, cfg.swPrefetch));
+        const std::string &bench = cfg.benchmarks[i];
+        const Addr base = static_cast<Addr>(i) * slice;
+        std::unique_ptr<Generator> gen;
+        if (TraceSpec::isTraceSpec(bench)) {
+            const TraceSpec spec = TraceSpec::parse(bench);
+            if (spec.stream) {
+                auto &str = traceStreams[spec.path];
+                if (!str)
+                    str = std::make_shared<TraceStream>(spec);
+                gen = std::make_unique<StreamingTraceGenerator>(
+                    str, base);
+            } else {
+                auto &ops = traceOps[spec.path];
+                if (!ops)
+                    ops = TraceFileGenerator::loadOps(spec.path);
+                gen = std::make_unique<TraceFileGenerator>(
+                    ops, spec.path, base);
+            }
+        } else {
+            gen = std::make_unique<SyntheticGenerator>(
+                benchProfile(bench), base, cfg.seed * 1000 + i,
+                cfg.swPrefetch);
+        }
+        gens.push_back(std::move(gen));
+        const BenchProfile &prof = gens[i]->profile();
 
         CoreParams cp;
         cp.baseIpc = prof.baseIpc;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "cpu/core.hh"
@@ -377,7 +378,22 @@ class System : private CompletionSink
     }
     CacheHierarchy &hierarchy() { return *hier; }
     Core &core(unsigned i) { return *cores.at(i); }
-    SyntheticGenerator &generator(unsigned i) { return *gens.at(i); }
+    Generator &generator(unsigned i) { return *gens.at(i); }
+
+    /**
+     * The synthetic generator driving core @p i; asserts when that
+     * core replays a trace instead (synthetic-only counters such as
+     * streamOps() have no trace equivalent).
+     */
+    SyntheticGenerator &
+    syntheticGenerator(unsigned i)
+    {
+        auto *g = dynamic_cast<SyntheticGenerator *>(gens.at(i).get());
+        fbdp_assert(g != nullptr,
+                    "core %u replays a trace, not a synthetic profile",
+                    i);
+        return *g;
+    }
 
     const SystemConfig &config() const { return cfg; }
 
@@ -537,7 +553,7 @@ class System : private CompletionSink
     std::vector<std::unique_ptr<MemController>> controllers;
     std::unique_ptr<MemorySystem> memSys;
     std::unique_ptr<CacheHierarchy> hier;
-    std::vector<std::unique_ptr<SyntheticGenerator>> gens;
+    std::vector<std::unique_ptr<Generator>> gens;
     std::vector<std::unique_ptr<Core>> cores;
 
     bool phaseDone = false;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "workload/trace_stream.hh"
 
 namespace fbdp {
 
@@ -21,16 +22,33 @@ formatTraceOp(const TraceOp &op)
 }
 
 bool
-parseTraceOp(const std::string &line, TraceOp *out)
+parseTraceOp(const std::string &line, TraceOp *out,
+             std::uint64_t line_no)
 {
-    if (line.empty() || line[0] == '#')
+    // Tolerate CRLF line endings and whitespace-only lines: getline
+    // on a DOS-format trace leaves a trailing '\r', and editors love
+    // to leave blank-looking lines that contain a stray tab.
+    std::size_t end = line.size();
+    while (end > 0
+           && (line[end - 1] == '\r' || line[end - 1] == ' '
+               || line[end - 1] == '\t'))
+        --end;
+    std::size_t begin = 0;
+    while (begin < end && (line[begin] == ' ' || line[begin] == '\t'))
+        ++begin;
+    if (begin == end || line[begin] == '#')
         return false;
+    const std::string body = line.substr(begin, end - begin);
     unsigned gap = 0;
     char kind = 0;
     unsigned long long addr = 0;
-    if (std::sscanf(line.c_str(), "%u %c %llx", &gap, &kind, &addr)
+    if (std::sscanf(body.c_str(), "%u %c %llx", &gap, &kind, &addr)
         != 3) {
-        fatal("malformed trace line: '%s'", line.c_str());
+        if (line_no)
+            fatal("malformed trace line %llu: '%s'",
+                  static_cast<unsigned long long>(line_no),
+                  body.c_str());
+        fatal("malformed trace line: '%s'", body.c_str());
     }
     out->gap = gap;
     out->addr = static_cast<Addr>(addr);
@@ -45,13 +63,16 @@ parseTraceOp(const std::string &line, TraceOp *out)
         out->kind = TraceOp::Kind::Prefetch;
         break;
       default:
+        if (line_no)
+            fatal("unknown trace op kind '%c' on line %llu", kind,
+                  static_cast<unsigned long long>(line_no));
         fatal("unknown trace op kind '%c'", kind);
     }
     return true;
 }
 
 TraceRecorder::TraceRecorder(Generator *inner, const std::string &path)
-    : src(inner), out(path)
+    : src(inner), outPath(path), out(path)
 {
     fbdp_assert(src != nullptr, "recording a null generator");
     if (!out)
@@ -60,39 +81,70 @@ TraceRecorder::TraceRecorder(Generator *inner, const std::string &path)
     out << "# fbdp trace: " << src->profile().name << "\n";
 }
 
+TraceRecorder::~TraceRecorder()
+{
+    // A full disk surfaces here at the latest: flush everything the
+    // stream still buffers and refuse to pretend the trace is whole.
+    out.flush();
+    if (!out)
+        fatal("write to trace file '%s' failed (disk full?); "
+              "recorded trace is incomplete", outPath.c_str());
+}
+
 TraceOp
 TraceRecorder::next()
 {
     TraceOp op = src->next();
     out << formatTraceOp(op) << "\n";
+    if (!out)
+        fatal("write to trace file '%s' failed (disk full?) after "
+              "%llu ops", outPath.c_str(),
+              static_cast<unsigned long long>(nRecorded));
     ++nRecorded;
     return op;
 }
 
+std::shared_ptr<const std::vector<TraceOp>>
+TraceFileGenerator::loadOps(const std::string &path)
+{
+    // One pass through the chunked decoder: the same parser (and the
+    // same format auto-detection — text / .fbt / gzip) as the
+    // streaming replayer, just materialised fully.
+    TraceSpec spec;
+    spec.path = path;
+    TracePassReader reader(spec);
+    auto ops = std::make_shared<std::vector<TraceOp>>();
+    if (reader.header().opCount)
+        ops->reserve(reader.header().opCount);
+    TraceOp op;
+    while (reader.next(&op))
+        ops->push_back(op);
+    return ops;
+}
+
 TraceFileGenerator::TraceFileGenerator(const std::string &path,
                                        Addr base_addr)
-    : base(base_addr)
+    : TraceFileGenerator(loadOps(path), path, base_addr)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open trace file '%s'", path.c_str());
+}
+
+TraceFileGenerator::TraceFileGenerator(
+    std::shared_ptr<const std::vector<TraceOp>> shared_ops,
+    const std::string &path, Addr base_addr)
+    : ops(std::move(shared_ops)), base(base_addr)
+{
+    fbdp_assert(ops != nullptr, "replaying a null op vector");
+    fbdp_assert(!ops->empty(),
+                "trace '%s' loaded empty", path.c_str());
     prof.name = "trace:" + path;
-    std::string line;
-    TraceOp op;
-    while (std::getline(in, line)) {
-        if (parseTraceOp(line, &op))
-            ops.push_back(op);
-    }
-    if (ops.empty())
-        fatal("trace file '%s' contains no operations", path.c_str());
 }
 
 TraceOp
 TraceFileGenerator::next()
 {
-    TraceOp op = ops[cursor];
+    TraceOp op = (*ops)[cursor];
     op.addr += base;
-    if (++cursor == ops.size()) {
+    if (++cursor == ops->size()) {
         cursor = 0;
         ++nWraps;
     }

@@ -1,22 +1,31 @@
 /**
  * @file
- * Trace recording and replay.
+ * Trace recording and replay (the in-RAM path).
  *
  * The synthetic generators are deterministic, but users often want to
  * (a) inspect exactly what a core executed, (b) replay the identical
  * access stream under a modified memory system, or (c) feed the
  * simulator traces produced by other tools.  TraceRecorder tees any
- * Generator to a text file; TraceFileGenerator replays such a file.
+ * Generator to a text file; TraceFileGenerator replays a recorded
+ * file after materialising it fully in memory.  For traces that do
+ * not fit in RAM (or should not be copied per core), the streaming
+ * frontend in workload/trace_stream.hh replays the same files with
+ * bounded, chunked buffering — bit-identical to this replayer.
  *
- * Format: one operation per line, `<gap> <kind> <addr-hex>` where
- * kind is L (load), S (store) or P (software prefetch).  Lines
- * starting with '#' are comments.
+ * Text format: one operation per line, `<gap> <kind> <addr-hex>`
+ * where kind is L (load), S (store) or P (software prefetch).  Lines
+ * starting with '#' are comments; blank and whitespace-only lines
+ * (including a lone carriage return from CRLF files) are skipped.
+ * The loader also accepts the compact binary `.fbt` format and
+ * gzip-compressed files of either format (auto-detected by magic;
+ * see trace_stream.hh).
  */
 
 #ifndef FBDP_WORKLOAD_TRACE_FILE_HH
 #define FBDP_WORKLOAD_TRACE_FILE_HH
 
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,7 +33,7 @@
 
 namespace fbdp {
 
-/** Pass-through generator that records every op to a file. */
+/** Pass-through generator that records every op to a text file. */
 class TraceRecorder : public Generator
 {
   public:
@@ -33,6 +42,9 @@ class TraceRecorder : public Generator
      * @param path  output trace file
      */
     TraceRecorder(Generator *inner, const std::string &path);
+
+    /** Flushes and fatals if any write failed (e.g. disk full). */
+    ~TraceRecorder() override;
 
     TraceOp next() override;
     const BenchProfile &profile() const override
@@ -44,40 +56,70 @@ class TraceRecorder : public Generator
 
   private:
     Generator *src;
+    std::string outPath;
     std::ofstream out;
     std::uint64_t nRecorded = 0;
 };
 
-/** Replays a recorded trace; loops back to the start at EOF. */
+/**
+ * Replays a recorded trace from memory; loops back to the start at
+ * EOF.  Cores replaying the same file share one loaded op vector
+ * (each core gets its own cursor and base offset), so an N-core
+ * replay costs one copy of the trace, not N.
+ */
 class TraceFileGenerator : public Generator
 {
   public:
     /**
+     * Load @p path (text, .fbt or gzip of either — detected by
+     * magic) and replay it.
      * @param path      trace file to replay
      * @param base_addr offset added to every address (core slicing)
      */
     explicit TraceFileGenerator(const std::string &path,
                                 Addr base_addr = 0);
 
+    /**
+     * Replay an already-loaded trace (from loadOps()); the sharing
+     * constructor for multi-core slicing.
+     */
+    TraceFileGenerator(
+        std::shared_ptr<const std::vector<TraceOp>> shared_ops,
+        const std::string &path, Addr base_addr = 0);
+
+    /**
+     * Load every op of @p path into one shareable vector.  Fatal on
+     * missing/empty/malformed files (with the offending line number
+     * for text input).
+     */
+    static std::shared_ptr<const std::vector<TraceOp>>
+    loadOps(const std::string &path);
+
     TraceOp next() override;
     const BenchProfile &profile() const override { return prof; }
 
-    size_t size() const { return ops.size(); }
+    size_t size() const { return ops->size(); }
     std::uint64_t wraps() const { return nWraps; }
 
   private:
     BenchProfile prof;
-    std::vector<TraceOp> ops;
+    std::shared_ptr<const std::vector<TraceOp>> ops;
     size_t cursor = 0;
     Addr base = 0;
     std::uint64_t nWraps = 0;
 };
 
-/** Serialise one op in the trace-file format. */
+/** Serialise one op in the trace-file text format. */
 std::string formatTraceOp(const TraceOp &op);
 
-/** Parse one line; @return false for comments/blank lines. */
-bool parseTraceOp(const std::string &line, TraceOp *out);
+/**
+ * Parse one text line; @return false for comments and blank or
+ * whitespace-only lines (trailing CR from CRLF files is ignored).
+ * Fatal on malformed input; a non-zero @p line_no is included in the
+ * message so users can find the bad record in a gigabyte trace.
+ */
+bool parseTraceOp(const std::string &line, TraceOp *out,
+                  std::uint64_t line_no = 0);
 
 } // namespace fbdp
 

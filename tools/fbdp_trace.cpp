@@ -1,0 +1,252 @@
+/**
+ * @file
+ * fbdp-trace — trace-file Swiss-army knife for the streaming frontend.
+ *
+ *   fbdp-trace convert IN OUT [--format auto|text|fbt] [--gzip]
+ *       Re-encode IN (text, .fbt, or gzip of either — detected by
+ *       magic) as OUT.  The output format defaults to OUT's
+ *       extension: *.fbt[.gz] writes binary, anything else text;
+ *       a .gz suffix (or --gzip) compresses.
+ *
+ *   fbdp-trace record BENCH OUT [--ops N] [--seed S] [--no-sp]
+ *              [--format auto|text|fbt] [--gzip]
+ *       Record N ops (default 1000000) of the synthetic generator for
+ *       profile BENCH straight to OUT (same format rules as convert).
+ *
+ *   fbdp-trace head IN [--ops N]
+ *       Print the first N ops (default 10) in the text format.
+ *
+ *   fbdp-trace stat IN
+ *       One pass over IN: format, header metadata, op counts by
+ *       kind, instruction count, footprint bounds.
+ *
+ * Exit codes: 0 success, 2 usage error.  File errors are fatal with
+ * the offending path (exit 1).
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "system/metrics.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/trace_file.hh"
+#include "workload/trace_stream.hh"
+
+namespace {
+
+using namespace fbdp;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr <<
+        "usage: fbdp-trace convert IN OUT [--format auto|text|fbt] "
+        "[--gzip]\n"
+        "       fbdp-trace record BENCH OUT [--ops N] [--seed S] "
+        "[--no-sp] [--format ...] [--gzip]\n"
+        "       fbdp-trace head IN [--ops N]\n"
+        "       fbdp-trace stat IN\n";
+    std::exit(2);
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size()
+        && s.compare(s.size() - suffix.size(), suffix.size(), suffix)
+               == 0;
+}
+
+/** Output encoding implied by @p path (".gz" stripped first). */
+TraceFormat
+formatFromPath(const std::string &path)
+{
+    std::string stem = path;
+    if (hasSuffix(stem, ".gz"))
+        stem.resize(stem.size() - 3);
+    return hasSuffix(stem, ".fbt") ? TraceFormat::Fbt
+                                   : TraceFormat::Text;
+}
+
+struct OutOptions
+{
+    TraceFormat format = TraceFormat::Auto;  ///< Auto = by extension
+    bool gzip = false;
+    bool gzipExplicit = false;
+
+    TraceFormat
+    resolveFormat(const std::string &out_path) const
+    {
+        return format == TraceFormat::Auto ? formatFromPath(out_path)
+                                           : format;
+    }
+
+    bool
+    resolveGzip(const std::string &out_path) const
+    {
+        return gzipExplicit ? gzip : hasSuffix(out_path, ".gz");
+    }
+};
+
+int
+cmdConvert(const std::string &in, const std::string &out,
+           const OutOptions &opts)
+{
+    TraceSpec spec;
+    spec.path = in;
+    TracePassReader reader(spec, /*background=*/true);
+    const TraceFormat ofmt = opts.resolveFormat(out);
+    const bool gz = opts.resolveGzip(out);
+    std::string name = reader.header().profileName;
+    if (name.empty())
+        name = "converted:" + in;
+    TraceWriter writer(out, ofmt, gz, name,
+                       reader.header().opCount);
+    TraceOp op;
+    while (reader.next(&op))
+        writer.append(op);
+    writer.close();
+    std::cout << "fbdp-trace: wrote " << writer.written() << " ops to "
+              << out << " (" << traceFormatName(ofmt)
+              << (gz ? ", gzip" : "") << ")\n";
+    return 0;
+}
+
+int
+cmdRecord(const std::string &bench, const std::string &out,
+          std::uint64_t n_ops, std::uint64_t seed, bool sw_prefetch,
+          const OutOptions &opts)
+{
+    SyntheticGenerator gen(benchProfile(bench), 0, seed, sw_prefetch);
+    const TraceFormat ofmt = opts.resolveFormat(out);
+    const bool gz = opts.resolveGzip(out);
+    TraceWriter writer(out, ofmt, gz, bench, n_ops);
+    for (std::uint64_t i = 0; i < n_ops; ++i)
+        writer.append(gen.next());
+    writer.close();
+    std::cout << "fbdp-trace: recorded " << n_ops << " ops of '"
+              << bench << "' to " << out << " ("
+              << traceFormatName(ofmt) << (gz ? ", gzip" : "")
+              << ")\n";
+    return 0;
+}
+
+int
+cmdHead(const std::string &in, std::uint64_t n_ops)
+{
+    TraceSpec spec;
+    spec.path = in;
+    TracePassReader reader(spec);
+    TraceOp op;
+    for (std::uint64_t i = 0; i < n_ops && reader.next(&op); ++i)
+        std::cout << formatTraceOp(op) << "\n";
+    return 0;
+}
+
+int
+cmdStat(const std::string &in)
+{
+    TraceSpec spec;
+    spec.path = in;
+    TracePassReader reader(spec, /*background=*/true);
+    std::uint64_t counts[3] = {0, 0, 0};
+    std::uint64_t total = 0, insts = 0;
+    Addr lo = ~static_cast<Addr>(0), hi = 0;
+    TraceOp op;
+    while (reader.next(&op)) {
+        ++counts[static_cast<int>(op.kind)];
+        ++total;
+        insts += op.gap + 1;
+        lo = op.addr < lo ? op.addr : lo;
+        hi = op.addr > hi ? op.addr : hi;
+    }
+    TextTable t({"metric", "value"});
+    t.addRow({"file", in});
+    t.addRow({"format", traceFormatName(reader.format())});
+    if (reader.format() == TraceFormat::Fbt) {
+        t.addRow({"header profile", reader.header().profileName});
+        t.addRow({"header op count",
+                  std::to_string(reader.header().opCount)});
+    }
+    t.addRow({"operations", std::to_string(total)});
+    t.addRow({"loads", std::to_string(counts[0])});
+    t.addRow({"stores", std::to_string(counts[1])});
+    t.addRow({"prefetches", std::to_string(counts[2])});
+    t.addRow({"instructions (incl. gaps)", std::to_string(insts)});
+    t.addRow({"lowest address", csprintf("%llx",
+              static_cast<unsigned long long>(lo))});
+    t.addRow({"highest address", csprintf("%llx",
+              static_cast<unsigned long long>(hi))});
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+
+    // Leading positional arguments, then options.
+    std::vector<std::string> pos;
+    OutOptions opts;
+    std::uint64_t n_ops = 0;
+    bool n_ops_set = false;
+    std::uint64_t seed = 42;
+    bool sw_prefetch = true;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 2; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--format")) {
+            const std::string v = need(i);
+            if (v == "auto")
+                opts.format = TraceFormat::Auto;
+            else if (v == "text")
+                opts.format = TraceFormat::Text;
+            else if (v == "fbt")
+                opts.format = TraceFormat::Fbt;
+            else
+                usage();
+        } else if (!std::strcmp(a, "--gzip")) {
+            opts.gzip = true;
+            opts.gzipExplicit = true;
+        } else if (!std::strcmp(a, "--ops")) {
+            n_ops = static_cast<std::uint64_t>(
+                std::atoll(need(i)));
+            n_ops_set = true;
+        } else if (!std::strcmp(a, "--seed")) {
+            seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+        } else if (!std::strcmp(a, "--no-sp")) {
+            sw_prefetch = false;
+        } else if (a[0] == '-') {
+            usage();
+        } else {
+            pos.push_back(a);
+        }
+    }
+
+    if (cmd == "convert" && pos.size() == 2)
+        return cmdConvert(pos[0], pos[1], opts);
+    if (cmd == "record" && pos.size() == 2)
+        return cmdRecord(pos[0], pos[1],
+                         n_ops_set ? n_ops : 1'000'000, seed,
+                         sw_prefetch, opts);
+    if (cmd == "head" && pos.size() == 1)
+        return cmdHead(pos[0], n_ops_set ? n_ops : 10);
+    if (cmd == "stat" && pos.size() == 1)
+        return cmdStat(pos[0]);
+    usage();
+}

@@ -66,6 +66,19 @@
  *                     sweep-row / kernel / latency / breakdown
  *                     tables) as one JSON document — the input side
  *                     of tools/fbdp-report
+ *   --manifest        embed the run manifest (build, git SHA, config
+ *                     digest, seed, host, start time) in every output
+ *                     written this run: stats JSON, telemetry header,
+ *                     trace metadata, progress stream.  Also on when
+ *                     FBDP_MANIFEST is set in the environment.
+ *   --progress        live status line on stderr (instructions
+ *                     retired, % of target, insts/s, ETA)
+ *   --progress-out F  machine-readable progress: one JSON object per
+ *                     heartbeat appended to F (see system/progress.hh)
+ *   --ledger F        append one cross-run ledger record (manifest +
+ *                     headline metrics) to F after the run; trend
+ *                     with fbdp-report --history F
+ *   --version         print the build-info string and exit
  */
 
 #include <cstdlib>
@@ -78,7 +91,10 @@
 #include "common/logging.hh"
 #include "power/power_model.hh"
 #include "sim/trace.hh"
+#include "system/ledger.hh"
+#include "system/manifest.hh"
 #include "system/metrics.hh"
+#include "system/progress.hh"
 #include "system/runner.hh"
 #include "system/statsjson.hh"
 #include "system/telemetry.hh"
@@ -112,12 +128,14 @@ main(int argc, char **argv)
     std::uint64_t warmup = 0;
     bool vrl = false, no_sp = false, no_refresh = false,
          apfl = false, verbose = false, profile = false,
-         profile_kernel = false, attribution = false;
+         profile_kernel = false, attribution = false,
+         manifest_on = false, progress_term = false;
     unsigned channels = 2, dimms = 4, rate = 667, k = 4,
              entries = 64, ways = 0, trace_cores = 1;
     std::uint64_t seed = 1;
     std::string trace_out, trace_filter, telemetry_out, epoch_spec,
-        stats_json, amb_policy, mc_policy, threads_arg;
+        stats_json, amb_policy, mc_policy, threads_arg,
+        progress_out, ledger_out;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -199,9 +217,23 @@ main(int argc, char **argv)
             stats_json = need(i);
         else if (!std::strcmp(a, "--threads"))
             threads_arg = need(i);
-        else
+        else if (!std::strcmp(a, "--manifest"))
+            manifest_on = true;
+        else if (!std::strcmp(a, "--progress"))
+            progress_term = true;
+        else if (!std::strcmp(a, "--progress-out"))
+            progress_out = need(i);
+        else if (!std::strcmp(a, "--ledger"))
+            ledger_out = need(i);
+        else if (!std::strcmp(a, "--version")) {
+            std::cout << RunManifest::buildInfo() << "\n";
+            return 0;
+        } else
             usage(argv[0]);
     }
+    if (const char *env = std::getenv("FBDP_MANIFEST");
+        env && *env && std::strcmp(env, "0") != 0)
+        manifest_on = true;
 
     if (machine == "ddr2")
         cfg = SystemConfig::ddr2();
@@ -290,6 +322,11 @@ main(int argc, char **argv)
     const WorkloadMix &mix =
         trace_workload ? trace_mix : mixByName(mix_name);
     cfg.benchmarks = mix.benches;
+
+    // Captured once the configuration is final, so the digest covers
+    // exactly what the run will simulate.
+    const RunManifest mft = RunManifest::capture(cfg);
+
     System sys(cfg);
 
     std::unique_ptr<trace::Tracer> tracer;
@@ -320,11 +357,42 @@ main(int argc, char **argv)
             sys, epoch, telemetry_os,
             csv ? TelemetrySampler::Format::Csv
                 : TelemetrySampler::Format::Jsonl);
+        if (manifest_on)
+            sampler->setManifest(mft);
         sampler->start();
+    }
+
+    // Live progress: terminal line, JSONL stream, or both.  The pulse
+    // schedules observer-priority events only, so attaching it leaves
+    // results bit-identical.
+    TerminalProgress term_progress(std::cerr);
+    std::ofstream progress_os;
+    std::unique_ptr<JsonlProgress> jsonl_progress;
+    ProgressMux progress_mux;
+    std::unique_ptr<ProgressPulse> pulse;
+    if (progress_term)
+        progress_mux.add(&term_progress);
+    if (!progress_out.empty()) {
+        progress_os.open(progress_out);
+        if (!progress_os) {
+            std::cerr << "fbdpsim: cannot open " << progress_out
+                      << " for writing\n";
+            return 1;
+        }
+        jsonl_progress = std::make_unique<JsonlProgress>(
+            progress_os, manifest_on ? &mft : nullptr);
+        progress_mux.add(jsonl_progress.get());
+    }
+    if (progress_term || !progress_out.empty()) {
+        pulse = std::make_unique<ProgressPulse>(
+            sys, ProgressPulse::defaultPeriod, progress_mux);
+        pulse->start();
     }
 
     RunResult r = sys.run();
 
+    if (pulse)
+        pulse->finish();
     if (sampler)
         sampler->finish();
     if (tracer) {
@@ -334,7 +402,8 @@ main(int argc, char **argv)
                       << " for writing\n";
             return 1;
         }
-        tracer->exportJson(os);
+        tracer->exportJson(os, manifest_on ? mft.json()
+                                           : std::string());
     }
 
     std::cout << "fbdpsim: " << machine << " / " << mix.name << " / "
@@ -596,20 +665,35 @@ main(int argc, char **argv)
         ln.print(std::cout);
     }
 
-    if (!stats_json.empty()) {
-        std::ofstream os(stats_json);
-        if (!os) {
-            std::cerr << "fbdpsim: cannot open " << stats_json
-                      << " for writing\n";
-            return 1;
-        }
+    if (!stats_json.empty() || !ledger_out.empty()) {
         SweepRow row;
         row.config = machine;
         row.mix = mix.name;
         row.seed = seed;
         row.result = r;
-        writeRunStatsJson(sys, row, os);
-        std::cout << "\nstats: full dump -> " << stats_json << "\n";
+        if (!stats_json.empty()) {
+            std::ofstream os(stats_json);
+            if (!os) {
+                std::cerr << "fbdpsim: cannot open " << stats_json
+                          << " for writing\n";
+                return 1;
+            }
+            writeRunStatsJson(sys, row, os,
+                              manifest_on ? &mft : nullptr);
+            std::cout << "\nstats: full dump -> " << stats_json
+                      << "\n";
+        }
+        if (!ledger_out.empty()) {
+            std::string err;
+            if (!appendLedgerRecord(ledger_out,
+                                    ledgerRecordJson(mft, row),
+                                    &err)) {
+                std::cerr << "fbdpsim: " << err << "\n";
+                return 1;
+            }
+            std::cout << "ledger: record appended -> " << ledger_out
+                      << "\n";
+        }
     }
 
     if (verbose) {

@@ -1,9 +1,13 @@
 #include "common/json.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -23,6 +27,38 @@ Value::asNumber() const
 {
     fbdp_assert(isNumber(), "json value is not a number");
     return num;
+}
+
+bool
+Value::isInteger() const
+{
+    return _kind == Kind::Number && intRep != IntRep::None;
+}
+
+std::int64_t
+Value::asInt64() const
+{
+    fbdp_assert(isInteger(), "json value is not an exact integer");
+    if (intRep == IntRep::Signed)
+        return static_cast<std::int64_t>(intBits);
+    fbdp_assert(intBits <= static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max()),
+                "json integer %llu overflows int64",
+                static_cast<unsigned long long>(intBits));
+    return static_cast<std::int64_t>(intBits);
+}
+
+std::uint64_t
+Value::asUint64() const
+{
+    fbdp_assert(isInteger(), "json value is not an exact integer");
+    if (intRep == IntRep::Signed) {
+        const auto v = static_cast<std::int64_t>(intBits);
+        fbdp_assert(v >= 0, "json integer %lld is negative",
+                    static_cast<long long>(v));
+        return static_cast<std::uint64_t>(v);
+    }
+    return intBits;
 }
 
 const std::string &
@@ -77,6 +113,26 @@ Value::makeNumber(double d)
 {
     auto p = new Value(Kind::Number);
     p->num = d;
+    return ValuePtr(p);
+}
+
+ValuePtr
+Value::makeInteger(std::int64_t v)
+{
+    auto p = new Value(Kind::Number);
+    p->num = static_cast<double>(v);
+    p->intRep = IntRep::Signed;
+    p->intBits = static_cast<std::uint64_t>(v);
+    return ValuePtr(p);
+}
+
+ValuePtr
+Value::makeUnsigned(std::uint64_t v)
+{
+    auto p = new Value(Kind::Number);
+    p->num = static_cast<double>(v);
+    p->intRep = IntRep::Unsigned;
+    p->intBits = v;
     return ValuePtr(p);
 }
 
@@ -364,18 +420,54 @@ class Parser
     ValuePtr
     parseNumber()
     {
+        // Non-finite literal extension (see the file header): the
+        // simulator's own writers emit these for NaN/Inf metrics.
+        if (literal("NaN"))
+            return Value::makeNumber(
+                std::numeric_limits<double>::quiet_NaN());
+        if (literal("Infinity"))
+            return Value::makeNumber(
+                std::numeric_limits<double>::infinity());
+        if (literal("-Infinity"))
+            return Value::makeNumber(
+                -std::numeric_limits<double>::infinity());
+
         const size_t start = pos;
+        bool integral = true;
         if (pos < s.size() && s[pos] == '-')
             ++pos;
         while (pos < s.size()
                && (std::isdigit(static_cast<unsigned char>(s[pos]))
                    || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
-                   || s[pos] == '+' || s[pos] == '-'))
+                   || s[pos] == '+' || s[pos] == '-')) {
+            if (!std::isdigit(static_cast<unsigned char>(s[pos])))
+                integral = false;
             ++pos;
+        }
         if (pos == start)
             return fail("expected a value");
         const std::string tok = s.substr(start, pos - start);
         char *end = nullptr;
+
+        // Keep integer tokens exact when they fit 64 bits: counters
+        // beyond 2^53 must survive a round trip bit for bit.
+        if (integral) {
+            errno = 0;
+            if (tok[0] == '-') {
+                const long long v =
+                    std::strtoll(tok.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Value::makeInteger(v);
+            } else {
+                const unsigned long long v =
+                    std::strtoull(tok.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Value::makeUnsigned(v);
+            }
+            // Out of 64-bit range: fall through to the double path.
+        }
+
+        end = nullptr;
         const double d = std::strtod(tok.c_str(), &end);
         if (end == tok.c_str() || *end != '\0') {
             pos = start;
@@ -391,6 +483,36 @@ ParseResult
 parse(const std::string &text)
 {
     return Parser(text).run();
+}
+
+std::string
+encodeNumber(double d)
+{
+    if (std::isnan(d))
+        return "NaN";
+    if (std::isinf(d))
+        return d > 0 ? "Infinity" : "-Infinity";
+    // Shortest %g precision that parses back to the same double:
+    // common values stay readable, every value stays exact.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+        if (std::strtod(buf, nullptr) == d)
+            break;
+    }
+    return buf;
+}
+
+std::string
+encodeNumber(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+encodeNumber(std::uint64_t v)
+{
+    return std::to_string(v);
 }
 
 ParseResult

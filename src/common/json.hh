@@ -10,11 +10,22 @@
  * literals and bad escapes are errors — but it is not a validator
  * for pathological depth (the recursion guard simply rejects inputs
  * nested deeper than a generous fixed bound).
+ *
+ * Numbers are lossless for the values the simulator emits.  Integer
+ * tokens that fit in 64 bits keep their exact value (asInt64() /
+ * asUint64()) alongside the double view, so a 64-bit event counter
+ * survives a write/parse round trip bit for bit; and as a documented
+ * extension beyond RFC 8259 the parser accepts the literals `NaN`,
+ * `Infinity` and `-Infinity`, which encodeNumber() emits for
+ * non-finite doubles — the cross-run ledger re-reads its own records
+ * and must not silently turn a NaN metric into a parse error or a
+ * null.
  */
 
 #ifndef FBDP_COMMON_JSON_HH
 #define FBDP_COMMON_JSON_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +58,20 @@ class Value
     const std::string &asString() const;
     const std::vector<ValuePtr> &asArray() const;
 
+    /**
+     * True when the number was parsed (or built) from an integer
+     * token that fits 64 bits — its exact value is available through
+     * asInt64()/asUint64() even beyond 2^53, where the double view
+     * rounds.
+     */
+    bool isInteger() const;
+
+    /** Exact integer value; asserts isInteger() and signed range. */
+    std::int64_t asInt64() const;
+
+    /** Exact integer value; asserts isInteger() and non-negative. */
+    std::uint64_t asUint64() const;
+
     /** Object members in document order (duplicate keys keep the
      *  later value, like every mainstream parser). */
     const std::vector<std::pair<std::string, ValuePtr>> &
@@ -59,6 +84,8 @@ class Value
     static ValuePtr makeNull();
     static ValuePtr makeBool(bool b);
     static ValuePtr makeNumber(double d);
+    static ValuePtr makeInteger(std::int64_t v);
+    static ValuePtr makeUnsigned(std::uint64_t v);
     static ValuePtr makeString(std::string s);
     static ValuePtr makeArray(std::vector<ValuePtr> items);
     static ValuePtr
@@ -67,9 +94,14 @@ class Value
   private:
     explicit Value(Kind k) : _kind(k) {}
 
+    /** Exact-integer sidecar of a Number (see isInteger()). */
+    enum class IntRep { None, Signed, Unsigned };
+
     Kind _kind;
     bool b = false;
     double num = 0.0;
+    IntRep intRep = IntRep::None;
+    std::uint64_t intBits = 0; ///< value (Unsigned) or int64 bits
     std::string str;
     std::vector<ValuePtr> arr;
     std::vector<std::pair<std::string, ValuePtr>> obj;
@@ -89,6 +121,18 @@ ParseResult parse(const std::string &text);
 
 /** Parse the contents of @p path; IO failures land in error. */
 ParseResult parseFile(const std::string &path);
+
+/**
+ * Render a number the parser reads back exactly.  Finite doubles use
+ * the shortest %g form that round-trips (so "0.25" stays "0.25", not
+ * seventeen digits); non-finite doubles become the NaN / Infinity /
+ * -Infinity literal extension.  The integer overloads print all 64
+ * bits — use them for counters, which a double transit would round
+ * above 2^53.
+ */
+std::string encodeNumber(double d);
+std::string encodeNumber(std::int64_t v);
+std::string encodeNumber(std::uint64_t v);
 
 } // namespace json
 } // namespace fbdp

@@ -158,7 +158,8 @@ printEscaped(std::ostream &os, const std::string &s)
 } // anonymous namespace
 
 void
-Tracer::exportJson(std::ostream &os) const
+Tracer::exportJson(std::ostream &os,
+                   const std::string &manifest_json) const
 {
     std::vector<Record> recs = chronological();
     // Stable sort by timestamp: same-tick records keep push order, so
@@ -270,7 +271,11 @@ Tracer::exportJson(std::ostream &os) const
         }
     }
 
-    os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+    os << "\n], \"displayTimeUnit\": \"ns\"";
+    if (!manifest_json.empty())
+        os << ", \"metadata\": {\"fbdp_manifest\": " << manifest_json
+           << "}";
+    os << "}\n";
 }
 
 } // namespace trace

@@ -211,8 +211,14 @@ class Tracer
      * Unmatched Begin records are closed at the final timestamp and
      * orphaned End records (ring wrap) are skipped, keeping the B/E
      * nesting valid for any buffer state.
+     *
+     * A non-empty @p manifest_json (a complete JSON object, e.g.
+     * RunManifest::json()) is embedded as metadata.fbdp_manifest —
+     * Chrome's trace format ignores unknown top-level members, and
+     * tools learn which build and configuration produced the trace.
      */
-    void exportJson(std::ostream &os) const;
+    void exportJson(std::ostream &os,
+                    const std::string &manifest_json = "") const;
 
   private:
     void

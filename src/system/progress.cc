@@ -1,0 +1,415 @@
+#include "system/progress.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "system/metrics.hh"
+#include "system/system.hh"
+
+namespace fbdp {
+
+namespace {
+
+/** Human ETA: "1h02m", "3m20s", "12s", "0.4s". */
+std::string
+fmtEta(double seconds)
+{
+    if (!(seconds >= 0.0) || !std::isfinite(seconds))
+        return "?";
+    if (seconds >= 3600.0) {
+        const auto h = static_cast<unsigned>(seconds / 3600.0);
+        const auto m = static_cast<unsigned>(
+            (seconds - h * 3600.0) / 60.0);
+        return csprintf("%uh%02um", h, m);
+    }
+    if (seconds >= 60.0) {
+        const auto m = static_cast<unsigned>(seconds / 60.0);
+        const auto s = static_cast<unsigned>(seconds - m * 60.0);
+        return csprintf("%um%02us", m, s);
+    }
+    if (seconds >= 10.0)
+        return csprintf("%.0fs", seconds);
+    return csprintf("%.1fs", seconds);
+}
+
+/** "421k", "8.2M", "1.3G" — counters on a one-line budget. */
+std::string
+fmtCount(double v)
+{
+    if (v >= 1e9)
+        return csprintf("%.2fG", v / 1e9);
+    if (v >= 1e6)
+        return csprintf("%.2fM", v / 1e6);
+    if (v >= 1e3)
+        return csprintf("%.0fk", v / 1e3);
+    return csprintf("%.0f", v);
+}
+
+} // namespace
+
+double
+HeartbeatSample::fraction() const
+{
+    if (instsTarget == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(instsDone)
+                             / static_cast<double>(instsTarget));
+}
+
+double
+HeartbeatSample::etaSeconds() const
+{
+    if (instsPerSec <= 0.0 || instsDone >= instsTarget)
+        return 0.0;
+    return static_cast<double>(instsTarget - instsDone) / instsPerSec;
+}
+
+// Default sink: observe nothing.
+void ProgressSink::sweepStarted(std::size_t, unsigned) {}
+void ProgressSink::cellStarted(std::size_t, const CellId &) {}
+void ProgressSink::cellFinished(std::size_t, const CellId &, double) {}
+void ProgressSink::cellFailed(std::size_t, const CellId &,
+                              const std::string &) {}
+void ProgressSink::sweepFinished(double) {}
+void ProgressSink::runHeartbeat(const HeartbeatSample &) {}
+
+void
+SweepEta::start(std::size_t cells, unsigned n)
+{
+    total = cells;
+    jobs = n ? n : 1;
+    done = 0;
+    wallSum = 0.0;
+}
+
+void
+SweepEta::finished(double wall_seconds)
+{
+    ++done;
+    wallSum += wall_seconds;
+}
+
+double
+SweepEta::etaSeconds() const
+{
+    if (done == 0 || done >= total)
+        return 0.0;
+    const double mean = wallSum / static_cast<double>(done);
+    return mean * static_cast<double>(total - done)
+        / static_cast<double>(jobs);
+}
+
+// --- TerminalProgress ---------------------------------------------------
+
+TerminalProgress::TerminalProgress(std::ostream &os) : out(os) {}
+
+bool
+TerminalProgress::throttled()
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (drawn && now - lastDraw < std::chrono::milliseconds(100))
+        return true;
+    lastDraw = now;
+    return false;
+}
+
+void
+TerminalProgress::line(const std::string &text, bool final_line)
+{
+    out << '\r' << text;
+    // Blank out the tail of a longer previous line.
+    if (text.size() < lastLen)
+        out << std::string(lastLen - text.size(), ' ');
+    lastLen = text.size();
+    if (final_line) {
+        out << '\n';
+        lastLen = 0;
+        drawn = false;
+    } else {
+        drawn = true;
+    }
+    out.flush();
+}
+
+void
+TerminalProgress::sweepStarted(std::size_t cells, unsigned jobs)
+{
+    eta.start(cells, jobs);
+    line(csprintf("sweep: 0/%zu cells (%u job%s)", cells, jobs,
+                  jobs == 1 ? "" : "s"),
+         false);
+}
+
+void
+TerminalProgress::cellFinished(std::size_t, const CellId &id,
+                               double wall_seconds)
+{
+    eta.finished(wall_seconds);
+    const bool last = eta.done >= eta.total;
+    if (!last && throttled())
+        return;
+    std::string text = csprintf("sweep: %zu/%zu cells", eta.done,
+                                eta.total);
+    if (!last)
+        text += csprintf("  eta %s", fmtEta(eta.etaSeconds()).c_str());
+    text += csprintf("  [%s/%s seed %llu %.1fs]", id.config.c_str(),
+                     id.mix.c_str(),
+                     static_cast<unsigned long long>(id.seed),
+                     wall_seconds);
+    line(text, false);
+}
+
+void
+TerminalProgress::cellFailed(std::size_t index, const CellId &id,
+                             const std::string &what)
+{
+    // Failures always land on their own durable line.
+    line(csprintf("sweep: cell %zu FAILED [%s/%s seed %llu]: %s",
+                  index, id.config.c_str(), id.mix.c_str(),
+                  static_cast<unsigned long long>(id.seed),
+                  what.c_str()),
+         true);
+}
+
+void
+TerminalProgress::sweepFinished(double wall_seconds)
+{
+    line(csprintf("sweep: %zu/%zu cells done in %s", eta.done,
+                  eta.total, fmtEta(wall_seconds).c_str()),
+         true);
+}
+
+void
+TerminalProgress::runHeartbeat(const HeartbeatSample &hb)
+{
+    const bool last = hb.instsDone >= hb.instsTarget
+        && hb.instsTarget != 0;
+    if (!last && throttled())
+        return;
+    std::string text = csprintf(
+        "run: %s/%s insts (%.0f%%)  %s insts/s",
+        fmtCount(static_cast<double>(hb.instsDone)).c_str(),
+        fmtCount(static_cast<double>(hb.instsTarget)).c_str(),
+        hb.fraction() * 100.0,
+        fmtCount(hb.instsPerSec).c_str());
+    if (!last)
+        text += csprintf("  eta %s",
+                         fmtEta(hb.etaSeconds()).c_str());
+    line(text, last);
+}
+
+// --- JsonlProgress ------------------------------------------------------
+
+JsonlProgress::JsonlProgress(std::ostream &os, const RunManifest *m)
+    : out(os)
+{
+    if (m) {
+        out << "{\"event\": \"manifest\", \"manifest\": " << m->json()
+            << "}\n";
+        out.flush();
+    }
+}
+
+void
+JsonlProgress::sweepStarted(std::size_t cells, unsigned jobs)
+{
+    eta.start(cells, jobs);
+    out << "{\"event\": \"sweep_started\", \"cells\": " << cells
+        << ", \"jobs\": " << jobs << "}\n";
+    out.flush();
+}
+
+void
+JsonlProgress::cellStarted(std::size_t index, const CellId &id)
+{
+    out << "{\"event\": \"cell_started\", \"index\": " << index
+        << ", \"config\": \"" << jsonEscape(id.config)
+        << "\", \"mix\": \"" << jsonEscape(id.mix)
+        << "\", \"seed\": " << id.seed << "}\n";
+    out.flush();
+}
+
+void
+JsonlProgress::cellFinished(std::size_t index, const CellId &id,
+                            double wall_seconds)
+{
+    eta.finished(wall_seconds);
+    out << "{\"event\": \"cell_finished\", \"index\": " << index
+        << ", \"config\": \"" << jsonEscape(id.config)
+        << "\", \"mix\": \"" << jsonEscape(id.mix)
+        << "\", \"seed\": " << id.seed
+        << ", \"wall_seconds\": " << json::encodeNumber(wall_seconds)
+        << ", \"done\": " << eta.done
+        << ", \"total\": " << eta.total << ", \"eta_seconds\": "
+        << json::encodeNumber(eta.etaSeconds()) << "}\n";
+    out.flush();
+}
+
+void
+JsonlProgress::cellFailed(std::size_t index, const CellId &id,
+                          const std::string &what)
+{
+    out << "{\"event\": \"cell_failed\", \"index\": " << index
+        << ", \"config\": \"" << jsonEscape(id.config)
+        << "\", \"mix\": \"" << jsonEscape(id.mix)
+        << "\", \"seed\": " << id.seed << ", \"error\": \""
+        << jsonEscape(what) << "\"}\n";
+    out.flush();
+}
+
+void
+JsonlProgress::sweepFinished(double wall_seconds)
+{
+    out << "{\"event\": \"sweep_finished\", \"done\": " << eta.done
+        << ", \"total\": " << eta.total << ", \"wall_seconds\": "
+        << json::encodeNumber(wall_seconds) << "}\n";
+    out.flush();
+}
+
+void
+JsonlProgress::runHeartbeat(const HeartbeatSample &hb)
+{
+    out << "{\"event\": \"heartbeat\", \"sim_ns\": "
+        << json::encodeNumber(ticksToNs(hb.now))
+        << ", \"insts_done\": " << hb.instsDone
+        << ", \"insts_target\": " << hb.instsTarget
+        << ", \"fraction\": " << json::encodeNumber(hb.fraction())
+        << ", \"host_seconds\": "
+        << json::encodeNumber(hb.hostSeconds)
+        << ", \"insts_per_sec\": "
+        << json::encodeNumber(hb.instsPerSec) << ", \"eta_seconds\": "
+        << json::encodeNumber(hb.etaSeconds()) << "}\n";
+    out.flush();
+}
+
+// --- ProgressMux --------------------------------------------------------
+
+void
+ProgressMux::sweepStarted(std::size_t cells, unsigned jobs)
+{
+    for (ProgressSink *s : sinks)
+        s->sweepStarted(cells, jobs);
+}
+
+void
+ProgressMux::cellStarted(std::size_t index, const CellId &id)
+{
+    for (ProgressSink *s : sinks)
+        s->cellStarted(index, id);
+}
+
+void
+ProgressMux::cellFinished(std::size_t index, const CellId &id,
+                          double wall_seconds)
+{
+    for (ProgressSink *s : sinks)
+        s->cellFinished(index, id, wall_seconds);
+}
+
+void
+ProgressMux::cellFailed(std::size_t index, const CellId &id,
+                        const std::string &what)
+{
+    for (ProgressSink *s : sinks)
+        s->cellFailed(index, id, what);
+}
+
+void
+ProgressMux::sweepFinished(double wall_seconds)
+{
+    for (ProgressSink *s : sinks)
+        s->sweepFinished(wall_seconds);
+}
+
+void
+ProgressMux::runHeartbeat(const HeartbeatSample &hb)
+{
+    for (ProgressSink *s : sinks)
+        s->runHeartbeat(hb);
+}
+
+// --- ProgressPulse ------------------------------------------------------
+
+ProgressPulse::ProgressPulse(System &system, Tick period_ticks,
+                             ProgressSink &progress_sink)
+    : sys(system),
+      eq(system.eventQueue()),
+      period(period_ticks),
+      sink(progress_sink),
+      // Fire after every same-tick completion and CPU advance — the
+      // telemetry boundary priority, proven observer-invisible.
+      beatEvent([this] { fire(); }, Event::prioCpu + 5)
+{
+    fbdp_assert(period > 0, "progress pulse period must be positive");
+    const SystemConfig &cfg = sys.config();
+    const unsigned n = cfg.nCores();
+    prevInsts.assign(n, 0);
+    instsTarget =
+        static_cast<std::uint64_t>(n)
+        * (cfg.warmupInsts + cfg.measureInsts);
+}
+
+ProgressPulse::~ProgressPulse()
+{
+    if (beatEvent.scheduled())
+        eq.deschedule(&beatEvent);
+}
+
+void
+ProgressPulse::start()
+{
+    nBeats = 0;
+    instsAccum = 0;
+    std::fill(prevInsts.begin(), prevInsts.end(), 0);
+    t0 = std::chrono::steady_clock::now();
+    nextAt = (eq.now() / period + 1) * period;
+    eq.schedule(&beatEvent, nextAt);
+}
+
+void
+ProgressPulse::fire()
+{
+    sample();
+    nextAt += period;
+    eq.schedule(&beatEvent, nextAt);
+}
+
+void
+ProgressPulse::finish()
+{
+    if (beatEvent.scheduled())
+        eq.deschedule(&beatEvent);
+    // One settling sample so the stream always ends at the final
+    // instruction count.
+    sample();
+    nextAt = 0;
+}
+
+void
+ProgressPulse::sample()
+{
+    // Per-core counters are cumulative but zeroed by the mid-run
+    // resetStats() between warm-up and measurement; accumulate deltas
+    // with a restart guard instead of reading them raw.
+    for (unsigned i = 0; i < prevInsts.size(); ++i) {
+        const std::uint64_t cur = sys.core(i).insts();
+        instsAccum += cur >= prevInsts[i] ? cur - prevInsts[i] : cur;
+        prevInsts[i] = cur;
+    }
+
+    HeartbeatSample hb;
+    hb.now = eq.now();
+    hb.instsDone = instsAccum;
+    hb.instsTarget = instsTarget;
+    hb.hostSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    hb.instsPerSec = hb.hostSeconds > 0.0
+        ? static_cast<double>(instsAccum) / hb.hostSeconds
+        : 0.0;
+    ++nBeats;
+    sink.runHeartbeat(hb);
+}
+
+} // namespace fbdp

@@ -608,10 +608,14 @@ ResultSchema::writeCsv(const std::vector<SweepRow> &rows,
 
 void
 ResultSchema::writeJson(const std::vector<SweepRow> &rows,
-                        std::ostream &os) const
+                        std::ostream &os,
+                        const std::string &manifest_json) const
 {
     static const char *kindNames[] = {"text", "count", "real"};
-    os << "{\n  \"columns\": [\n";
+    os << "{\n";
+    if (!manifest_json.empty())
+        os << "  \"manifest\": " << manifest_json << ",\n";
+    os << "  \"columns\": [\n";
     for (size_t i = 0; i < cols.size(); ++i) {
         os << "    {\"name\": \"" << jsonEscape(cols[i].name)
            << "\", \"unit\": \"" << jsonEscape(cols[i].unit)

@@ -153,9 +153,13 @@ class ResultSchema
      * Whole result set as one JSON document:
      *   { "columns": [ {"name","unit","kind"}, ... ],
      *     "rows":    [ {<name>: <value>, ...}, ... ] }
+     * A non-empty @p manifest_json becomes a single "manifest" line
+     * right after the opening brace — deleting that line recovers the
+     * manifest-free bytes.
      */
     void writeJson(const std::vector<SweepRow> &rows,
-                   std::ostream &os) const;
+                   std::ostream &os,
+                   const std::string &manifest_json = "") const;
 
   private:
     std::vector<Column> cols;

@@ -14,6 +14,7 @@ constexpr double relEps = 1e-12;
 
 void
 flattenInto(const json::ValuePtr &v, const std::string &prefix,
+            bool include_manifest,
             std::map<std::string, FlatEntry> &out)
 {
     if (!v)
@@ -21,9 +22,15 @@ flattenInto(const json::ValuePtr &v, const std::string &prefix,
     switch (v->kind()) {
       case json::Value::Kind::Object:
         for (const auto &[key, child] : v->members()) {
+            // Manifest blocks are provenance (timestamps, SHA, host),
+            // not metrics: every pair of runs differs there, so
+            // diffing them would drown real changes in noise.
+            if (!include_manifest
+                && (key == "manifest" || key == "fbdp_manifest"))
+                continue;
             const std::string path =
                 prefix.empty() ? key : prefix + "." + key;
-            flattenInto(child, path, out);
+            flattenInto(child, path, include_manifest, out);
         }
         return;
       case json::Value::Kind::Array: {
@@ -40,7 +47,7 @@ flattenInto(const json::ValuePtr &v, const std::string &prefix,
             }
             const std::string path =
                 prefix.empty() ? label : prefix + "." + label;
-            flattenInto(items[i], path, out);
+            flattenInto(items[i], path, include_manifest, out);
         }
         return;
       }
@@ -96,10 +103,10 @@ selected(const std::string &key, const DiffOptions &opt)
 } // namespace
 
 std::map<std::string, FlatEntry>
-flattenJson(const json::ValuePtr &v)
+flattenJson(const json::ValuePtr &v, bool include_manifest)
 {
     std::map<std::string, FlatEntry> out;
-    flattenInto(v, "", out);
+    flattenInto(v, "", include_manifest, out);
     return out;
 }
 

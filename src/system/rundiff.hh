@@ -44,7 +44,10 @@ struct FlatEntry
     std::string text; ///< set for strings/bools/null
 };
 
-std::map<std::string, FlatEntry> flattenJson(const json::ValuePtr &v);
+/** Members named "manifest" / "fbdp_manifest" (run provenance, not
+ *  metrics) are skipped unless @p include_manifest asks for them. */
+std::map<std::string, FlatEntry>
+flattenJson(const json::ValuePtr &v, bool include_manifest = false);
 
 /** Comparison policy. */
 struct DiffOptions

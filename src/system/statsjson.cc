@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "system/manifest.hh"
 #include "system/metrics.hh"
 
 namespace fbdp {
@@ -85,9 +86,11 @@ writeKernelSection(const SweepRow &row, std::ostream &os)
 
 void
 writeRunStatsJson(const System &sys, const SweepRow &row,
-                  std::ostream &os)
+                  std::ostream &os, const RunManifest *manifest)
 {
     os << "{\n";
+    if (manifest)
+        os << "  \"manifest\": " << manifest->json() << ",\n";
     os << "  \"run\": "
        << ResultSchema::sweepRows().jsonRow(row) << ",\n";
     os << "  \"latency\": "

@@ -34,11 +34,17 @@
 
 namespace fbdp {
 
+struct RunManifest;
+
 /** Write the full stats document for @p row's run to @p os.
  *  @p sys must be the System the row was collected from (its live
- *  stat groups are walked for the "groups" section). */
+ *  stat groups are walked for the "groups" section).  A non-null
+ *  @p manifest becomes a single-line "manifest" member, first in the
+ *  document — removing that one line recovers the manifest-free
+ *  bytes. */
 void writeRunStatsJson(const System &sys, const SweepRow &row,
-                       std::ostream &os);
+                       std::ostream &os,
+                       const RunManifest *manifest = nullptr);
 
 } // namespace fbdp
 

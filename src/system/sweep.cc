@@ -1,13 +1,55 @@
 #include "system/sweep.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <mutex>
+
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "system/ledger.hh"
+#include "system/progress.hh"
 #include "system/runner.hh"
 
 namespace fbdp {
+
+namespace {
+
+/** One materialised cell of the grid, in row (config-major) order. */
+struct Cell
+{
+    std::string config;
+    std::string mix;
+    std::uint64_t seed;
+    SystemConfig cfg;
+};
+
+std::vector<Cell>
+materializeCells(
+    const std::vector<std::pair<std::string, SystemConfig>> &configs,
+    const std::vector<const WorkloadMix *> &mixes, unsigned n_repeats)
+{
+    std::vector<Cell> cells;
+    cells.reserve(configs.size() * mixes.size() * n_repeats);
+    for (const auto &[name, cfg] : configs) {
+        for (const WorkloadMix *mix : mixes) {
+            for (unsigned r = 0; r < n_repeats; ++r) {
+                SystemConfig c = cfg;
+                // The configuration's seed is the base of the repeat
+                // range, so sweeps can use disjoint seed ranges.
+                c.seed = cfg.seed + r;
+                c.benchmarks = mix->benches;
+                cells.push_back(
+                    {name, mix->name, c.seed, std::move(c)});
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace
 
 Sweep &
 Sweep::addConfig(std::string name, SystemConfig cfg)
@@ -53,6 +95,64 @@ Sweep::onRow(std::function<void(const SweepRow &)> cb)
     return *this;
 }
 
+Sweep &
+Sweep::progress(ProgressSink *s)
+{
+    sink = s;
+    return *this;
+}
+
+Sweep &
+Sweep::manifest(bool on)
+{
+    wantManifest = on;
+    manifestSet = true;
+    return *this;
+}
+
+Sweep &
+Sweep::ledger(std::string path)
+{
+    ledgerPath = std::move(path);
+    ledgerSet = true;
+    return *this;
+}
+
+bool
+Sweep::manifestEnabled() const
+{
+    if (manifestSet)
+        return wantManifest;
+    const char *env = std::getenv("FBDP_MANIFEST");
+    return env && *env && std::string(env) != "0";
+}
+
+std::string
+Sweep::ledgerFile() const
+{
+    if (ledgerSet)
+        return ledgerPath;
+    const char *env = std::getenv("FBDP_LEDGER");
+    return env ? env : "";
+}
+
+RunManifest
+Sweep::gridManifest() const
+{
+    fbdp_assert(!configs.empty(), "sweep has no configurations");
+    fbdp_assert(!mixes.empty(), "sweep has no workloads");
+    const std::vector<Cell> cells =
+        materializeCells(configs, mixes, nRepeats);
+    std::string canon;
+    for (const Cell &cell : cells)
+        canon += canonicalConfigString(cell.cfg);
+    RunManifest m = RunManifest::capture(cells.front().cfg);
+    m.configDigest = csprintf(
+        "%016llx",
+        static_cast<unsigned long long>(fnv1a64(canon)));
+    return m;
+}
+
 unsigned
 Sweep::effectiveJobs() const
 {
@@ -72,31 +172,15 @@ Sweep::run()
 
     // Materialise every cell up front, in config-major order; this
     // order — not completion order — defines the row order.
-    struct Cell
-    {
-        std::string config;
-        std::string mix;
-        std::uint64_t seed;
-        SystemConfig cfg;
-    };
-    std::vector<Cell> cellDefs;
-    cellDefs.reserve(cells());
-    for (const auto &[name, cfg] : configs) {
-        for (const WorkloadMix *mix : mixes) {
-            for (unsigned r = 0; r < nRepeats; ++r) {
-                SystemConfig c = cfg;
-                // The configuration's seed is the base of the repeat
-                // range, so sweeps can use disjoint seed ranges.
-                c.seed = cfg.seed + r;
-                c.benchmarks = mix->benches;
-                cellDefs.push_back(
-                    {name, mix->name, c.seed, std::move(c)});
-            }
-        }
-    }
+    std::vector<Cell> cellDefs =
+        materializeCells(configs, mixes, nRepeats);
 
     std::vector<SweepRow> rows;
     rows.reserve(cellDefs.size());
+
+    // Ledger appends happen in finish() — calling thread, row order —
+    // with each cell's own manifest, so records trend per cell.
+    const std::string ledgerOut = ledgerFile();
 
     auto finish = [&](Cell &cell, RunResult result) {
         SweepRow row;
@@ -106,32 +190,75 @@ Sweep::run()
         row.result = std::move(result);
         if (rowCb)
             rowCb(row);
+        if (!ledgerOut.empty()) {
+            std::string err;
+            if (!appendLedgerRecord(
+                    ledgerOut,
+                    ledgerRecordJson(RunManifest::capture(cell.cfg),
+                                     row),
+                    &err))
+                fatal("%s", err.c_str());
+        }
         rows.push_back(std::move(row));
     };
 
-    const unsigned n = effectiveJobs();
-    if (n <= 1) {
-        for (auto &cell : cellDefs) {
+    // Progress events fire in completion order from whichever thread
+    // finished the cell; one mutex serialises them so sinks stay
+    // lock-free.  Rows and callbacks remain config-major either way.
+    using Clock = std::chrono::steady_clock;
+    std::mutex sinkMu;
+    auto note = [&](auto &&fn) {
+        if (!sink)
+            return;
+        std::lock_guard<std::mutex> lock(sinkMu);
+        fn();
+    };
+    auto cellId = [](const Cell &cell) {
+        return CellId{cell.config, cell.mix, cell.seed};
+    };
+    auto runCell = [&](std::size_t i) {
+        const Cell &cell = cellDefs[i];
+        note([&] { sink->cellStarted(i, cellId(cell)); });
+        const auto c0 = Clock::now();
+        try {
             System sys(cell.cfg);
-            finish(cell, sys.run());
+            RunResult r = sys.run();
+            const double wall =
+                std::chrono::duration<double>(Clock::now() - c0)
+                    .count();
+            note([&] { sink->cellFinished(i, cellId(cell), wall); });
+            return r;
+        } catch (const std::exception &e) {
+            note([&] { sink->cellFailed(i, cellId(cell), e.what()); });
+            throw;
         }
-        return rows;
+    };
+
+    const unsigned n = effectiveJobs();
+    const auto t0 = Clock::now();
+    note([&] { sink->sweepStarted(cellDefs.size(), n); });
+
+    if (n <= 1) {
+        for (std::size_t i = 0; i < cellDefs.size(); ++i)
+            finish(cellDefs[i], runCell(i));
+    } else {
+        // Each cell is an isolated System constructed and run on a
+        // worker thread; collecting the futures in submission order
+        // keeps rows, callbacks and any exception deterministic.
+        ThreadPool pool(n);
+        std::vector<std::future<RunResult>> pending;
+        pending.reserve(cellDefs.size());
+        for (std::size_t i = 0; i < cellDefs.size(); ++i)
+            pending.push_back(
+                pool.submit([&runCell, i] { return runCell(i); }));
+        for (size_t i = 0; i < cellDefs.size(); ++i)
+            finish(cellDefs[i], pending[i].get());
     }
 
-    // Each cell is an isolated System constructed and run on a worker
-    // thread; collecting the futures in submission order keeps rows,
-    // callbacks and any exception deterministic.
-    ThreadPool pool(n);
-    std::vector<std::future<RunResult>> pending;
-    pending.reserve(cellDefs.size());
-    for (const auto &cell : cellDefs) {
-        pending.push_back(pool.submit([&cfg = cell.cfg] {
-            System sys(cfg);
-            return sys.run();
-        }));
-    }
-    for (size_t i = 0; i < cellDefs.size(); ++i)
-        finish(cellDefs[i], pending[i].get());
+    note([&] {
+        sink->sweepFinished(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+    });
     return rows;
 }
 
@@ -156,6 +283,8 @@ Sweep::csvRow(const SweepRow &row)
 void
 Sweep::runCsv(std::ostream &os)
 {
+    if (manifestEnabled())
+        os << gridManifest().csvComment();
     os << csvHeader() << '\n';
     onRow([&os](const SweepRow &row) {
         os << csvRow(row) << '\n';
@@ -166,7 +295,9 @@ Sweep::runCsv(std::ostream &os)
 void
 Sweep::runJson(std::ostream &os)
 {
-    schema().writeJson(run(), os);
+    const std::string m =
+        manifestEnabled() ? gridManifest().json() : std::string();
+    schema().writeJson(run(), os, m);
 }
 
 } // namespace fbdp

@@ -28,11 +28,14 @@
 #include <vector>
 
 #include "system/config.hh"
+#include "system/manifest.hh"
 #include "system/results.hh"
 #include "system/system.hh"
 #include "workload/mixes.hh"
 
 namespace fbdp {
+
+class ProgressSink;
 
 /** Cross-product experiment runner. */
 class Sweep
@@ -57,8 +60,43 @@ class Sweep
     Sweep &jobs(unsigned n);
 
     /** Invoked after each run, on the calling thread, in row order
-     *  (progress reporting / streaming output). */
+     *  (streaming output; see progress() for live status). */
     Sweep &onRow(std::function<void(const SweepRow &)> cb);
+
+    /**
+     * Attach a live progress sink (nullptr detaches).  The sink sees
+     * sweepStarted / cellStarted / cellFinished / cellFailed /
+     * sweepFinished in *completion* order — that is the point of live
+     * progress — with calls serialised under an internal mutex, so
+     * sinks need no locking.  Rows, row callbacks and every output
+     * stay in config-major order and are byte-identical with or
+     * without a sink attached.
+     */
+    Sweep &progress(ProgressSink *s);
+
+    /**
+     * Embed a run manifest in runCsv() / runJson() output: CSV gets
+     * '#'-prefixed comment lines before the header, JSON a single
+     * "manifest" line — stripping those recovers the manifest-free
+     * bytes.  The manifest's config digest hashes *every* cell's
+     * canonical configuration, so it identifies the whole grid.
+     * Unset, the FBDP_MANIFEST environment variable (=1) decides.
+     */
+    Sweep &manifest(bool on);
+
+    /**
+     * Append one cross-run ledger record per finished row to @p path
+     * (see system/ledger.hh; empty disables).  Each record carries
+     * the *cell's* manifest — the digest of that cell's exact
+     * configuration — so `fbdp-report --history` trends the same cell
+     * across sweeps.  Unset, the FBDP_LEDGER environment variable
+     * (a path) decides.
+     */
+    Sweep &ledger(std::string path);
+
+    /** The grid manifest manifest(true) embeds (digest over every
+     *  cell, in row order). */
+    RunManifest gridManifest() const;
 
     /** Run everything; rows in config-major order. */
     std::vector<SweepRow> run();
@@ -87,12 +125,24 @@ class Sweep
      *  FBDP_JOBS and clamps to the number of cells). */
     unsigned effectiveJobs() const;
 
+    /** Resolved manifest() / FBDP_MANIFEST decision. */
+    bool manifestEnabled() const;
+
   private:
     std::vector<std::pair<std::string, SystemConfig>> configs;
     std::vector<const WorkloadMix *> mixes;
     unsigned nRepeats = 1;
     unsigned nJobs = 0;
     std::function<void(const SweepRow &)> rowCb;
+    ProgressSink *sink = nullptr;
+
+    bool wantManifest = false;
+    bool manifestSet = false;  ///< manifest() called; ignore the env
+    std::string ledgerPath;
+    bool ledgerSet = false;    ///< ledger() called; ignore the env
+
+    /** ledger()/FBDP_LEDGER resolution ("" = off). */
+    std::string ledgerFile() const;
 };
 
 } // namespace fbdp

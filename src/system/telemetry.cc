@@ -218,8 +218,21 @@ TelemetrySampler::addGauge(const std::string &gauge_name,
 }
 
 void
+TelemetrySampler::setManifest(const RunManifest &m)
+{
+    manifest = m;
+}
+
+void
 TelemetrySampler::start()
 {
+    if (manifest) {
+        if (fmt == Format::Csv)
+            out << manifest->csvComment();
+        else
+            out << "{\"manifest\": " << manifest->json() << "}\n";
+        manifest.reset();
+    }
     nextAt = (eq.now() / epoch + 1) * epoch;
     eq.schedule(&sampleEvent, nextAt);
 }
@@ -356,14 +369,20 @@ TelemetrySampler::takeSample(Tick at)
     ++nRecords;
 }
 
-double
+std::optional<double>
 TelemetrySampler::gauge(const std::string &name) const
 {
     const stats::Stat *s = group.find(name);
     if (!s)
-        return 0.0;
+        return std::nullopt;
     // The group holds nothing but Formulas (see addGauge).
     return static_cast<const stats::Formula *>(s)->value();
+}
+
+bool
+TelemetrySampler::hasGauge(const std::string &name) const
+{
+    return group.find(name) != nullptr;
 }
 
 Tick

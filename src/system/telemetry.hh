@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
+#include "system/manifest.hh"
 #include "system/system.hh"
 
 namespace fbdp {
@@ -55,6 +57,14 @@ class TelemetrySampler
     TelemetrySampler(const TelemetrySampler &) = delete;
     TelemetrySampler &operator=(const TelemetrySampler &) = delete;
 
+    /**
+     * Embed @p m in the output: start() prepends it as '#' comment
+     * lines (CSV) or a single {"manifest": ...} line (JSON-lines), so
+     * stripping those recovers the manifest-free bytes.  Call before
+     * start().
+     */
+    void setManifest(const RunManifest &m);
+
     /** Arm the sampler: first record at the next epoch boundary.
      *  Call before System::run(). */
     void start();
@@ -71,9 +81,13 @@ class TelemetrySampler
 
     Tick epochTicks() const { return epoch; }
 
-    /** Latest sampled value of the gauge named @p name (0 if the
-     *  sampler has not fired or the name is unknown). */
-    double gauge(const std::string &name) const;
+    /** Latest sampled value of the gauge named @p name, or nullopt
+     *  for a name no gauge carries — a misspelt gauge name in a test
+     *  or a report filter should be loud, not a silent 0. */
+    std::optional<double> gauge(const std::string &name) const;
+
+    /** True when a gauge named @p name exists. */
+    bool hasGauge(const std::string &name) const;
 
     /** The gauge set, for enumeration. */
     const stats::StatGroup &gauges() const { return group; }
@@ -176,6 +190,7 @@ class TelemetrySampler
     Tick nextAt = 0;
     std::uint64_t nRecords = 0;
     bool headerDone = false;
+    std::optional<RunManifest> manifest;
 
     std::vector<ChannelPrev> chPrev;
     std::vector<ChannelCur> chCur;

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Losslessness of the JSON layer: encodeNumber() output must parse
+ * back to the exact same value for every number the simulator emits —
+ * 64-bit counters beyond 2^53, non-finite metrics, and doubles in
+ * their shortest round-tripping form.  The cross-run ledger re-reads
+ * its own records, so any rounding here silently corrupts trends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/json.hh"
+
+using namespace fbdp;
+
+namespace {
+
+/** Encode @p v as the sole member of an object and parse it back. */
+json::ValuePtr
+roundTrip(const std::string &encoded)
+{
+    const auto pr = json::parse("{\"v\": " + encoded + "}");
+    EXPECT_TRUE(pr.ok()) << pr.error << " for " << encoded;
+    return pr.ok() ? pr.value->get("v") : nullptr;
+}
+
+TEST(JsonLosslessTest, NonFiniteLiterals)
+{
+    const json::ValuePtr nan =
+        roundTrip(json::encodeNumber(std::nan("")));
+    ASSERT_NE(nan, nullptr);
+    ASSERT_TRUE(nan->isNumber());
+    EXPECT_TRUE(std::isnan(nan->asNumber()));
+
+    const double inf = std::numeric_limits<double>::infinity();
+    const json::ValuePtr pos = roundTrip(json::encodeNumber(inf));
+    ASSERT_NE(pos, nullptr);
+    EXPECT_EQ(pos->asNumber(), inf);
+
+    const json::ValuePtr neg = roundTrip(json::encodeNumber(-inf));
+    ASSERT_NE(neg, nullptr);
+    EXPECT_EQ(neg->asNumber(), -inf);
+}
+
+TEST(JsonLosslessTest, NonFiniteSpelling)
+{
+    EXPECT_EQ(json::encodeNumber(std::nan("")), "NaN");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(json::encodeNumber(inf), "Infinity");
+    EXPECT_EQ(json::encodeNumber(-inf), "-Infinity");
+}
+
+TEST(JsonLosslessTest, Int64Extremes)
+{
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+
+    const json::ValuePtr vMin = roundTrip(json::encodeNumber(min));
+    ASSERT_NE(vMin, nullptr);
+    ASSERT_TRUE(vMin->isInteger());
+    EXPECT_EQ(vMin->asInt64(), min);
+
+    const json::ValuePtr vMax = roundTrip(json::encodeNumber(max));
+    ASSERT_NE(vMax, nullptr);
+    ASSERT_TRUE(vMax->isInteger());
+    EXPECT_EQ(vMax->asInt64(), max);
+}
+
+TEST(JsonLosslessTest, Uint64Max)
+{
+    const std::uint64_t max =
+        std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(json::encodeNumber(max), "18446744073709551615");
+    const json::ValuePtr v = roundTrip(json::encodeNumber(max));
+    ASSERT_NE(v, nullptr);
+    ASSERT_TRUE(v->isInteger());
+    EXPECT_EQ(v->asUint64(), max);
+}
+
+TEST(JsonLosslessTest, CounterBeyondDoublePrecision)
+{
+    // 2^53 + 1 is the first integer a double cannot represent; the
+    // integer sidecar must carry it exactly while the double view
+    // rounds.
+    const std::uint64_t v = (1ULL << 53) + 1;
+    const json::ValuePtr p = roundTrip(json::encodeNumber(v));
+    ASSERT_NE(p, nullptr);
+    ASSERT_TRUE(p->isInteger());
+    EXPECT_EQ(p->asUint64(), v);
+    EXPECT_NE(static_cast<std::uint64_t>(p->asNumber()), v);
+}
+
+TEST(JsonLosslessTest, DoubleShortestForm)
+{
+    // Friendly values stay friendly...
+    EXPECT_EQ(json::encodeNumber(0.25), "0.25");
+    EXPECT_EQ(json::encodeNumber(2.0), "2");
+    // ...and awkward ones still round-trip bit for bit.
+    for (const double d : {0.1, 1.0 / 3.0, 6.02214076e23,
+                           5e-324, 1.7976931348623157e308}) {
+        const json::ValuePtr p = roundTrip(json::encodeNumber(d));
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->asNumber(), d) << json::encodeNumber(d);
+    }
+}
+
+TEST(JsonLosslessTest, ParserKeepsExactIntegerTokens)
+{
+    const auto pr = json::parse(
+        R"({"big": 9007199254740993, "neg": -9223372036854775808})");
+    ASSERT_TRUE(pr.ok()) << pr.error;
+    ASSERT_TRUE(pr.value->get("big")->isInteger());
+    EXPECT_EQ(pr.value->get("big")->asUint64(),
+              9007199254740993ULL);
+    ASSERT_TRUE(pr.value->get("neg")->isInteger());
+    EXPECT_EQ(pr.value->get("neg")->asInt64(),
+              std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonLosslessTest, FractionalNumberIsNotInteger)
+{
+    const auto pr = json::parse(R"({"v": 1.5, "e": 1e2})");
+    ASSERT_TRUE(pr.ok()) << pr.error;
+    EXPECT_FALSE(pr.value->get("v")->isInteger());
+    EXPECT_DOUBLE_EQ(pr.value->get("v")->asNumber(), 1.5);
+}
+
+} // namespace

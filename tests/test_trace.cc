@@ -368,10 +368,14 @@ TEST(TelemetryTest, EmitsOneRecordPerElapsedEpoch)
     }
     EXPECT_EQ(lines, sampler.records());
 
-    // Gauges remain queryable by name after the run.
+    // Gauges remain queryable by name after the run; unknown names
+    // are distinguishable from a sampled zero.
     EXPECT_NE(sampler.gauges().find("ch0.amb_hit_rate"), nullptr);
-    EXPECT_GE(sampler.gauge("ch0.queue_depth"), 0.0);
-    EXPECT_EQ(sampler.gauge("no.such.gauge"), 0.0);
+    ASSERT_TRUE(sampler.hasGauge("ch0.queue_depth"));
+    ASSERT_TRUE(sampler.gauge("ch0.queue_depth").has_value());
+    EXPECT_GE(*sampler.gauge("ch0.queue_depth"), 0.0);
+    EXPECT_FALSE(sampler.hasGauge("no.such.gauge"));
+    EXPECT_FALSE(sampler.gauge("no.such.gauge").has_value());
 }
 
 TEST(TelemetryTest, CsvFormatHasHeaderAndMatchingRows)

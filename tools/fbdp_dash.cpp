@@ -1,0 +1,393 @@
+/**
+ * @file
+ * fbdp-dash — render the cross-run ledger as a static HTML dashboard.
+ *
+ *   fbdp-dash <runs.jsonl> [-o dash.html] [--metric NAME]...
+ *   fbdp-dash --version
+ *
+ * The output is one self-contained HTML file (inline CSS, inline SVG
+ * sparklines, no scripts, no external fetches) that answers "what
+ * does the fleet look like?" at a glance:
+ *
+ *  - a cell grid: one row per trend line (config digest), with the
+ *    newest record's headline metrics and a drift verdict computed
+ *    exactly like `fbdp-report --history` (newest vs mean of priors,
+ *    10% two-sided tolerance),
+ *  - sparklines per trend line for the selected metrics (default:
+ *    insts_per_sec, ipc_sum, avg_read_latency_ns, dynamic_power),
+ *  - the newest record's full manifest, so the dashboard names the
+ *    build and host it describes.
+ *
+ * Exit codes: 0 success, 2 usage or IO error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "system/ledger.hh"
+#include "system/manifest.hh"
+#include "system/rundiff.hh"
+
+namespace {
+
+using namespace fbdp;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: fbdp-dash <runs.jsonl> [-o out.html] "
+           "[--metric NAME]...\n"
+           "       fbdp-dash --version\n"
+           "renders the cross-run ledger as a static HTML dashboard\n"
+           "(default metrics: insts_per_sec ipc_sum "
+           "avg_read_latency_ns dynamic_power)\n";
+    return 2;
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmtMetric(double v)
+{
+    if (!std::isfinite(v))
+        return v != v ? "NaN" : (v > 0 ? "inf" : "-inf");
+    const double a = std::fabs(v);
+    if (a >= 1e6)
+        return csprintf("%.3g", v);
+    if (a >= 100.0)
+        return csprintf("%.1f", v);
+    return csprintf("%.4g", v);
+}
+
+/** One parsed ledger record of one trend line. */
+struct Point
+{
+    std::uint64_t seq = 0; ///< position in the ledger (file order)
+    std::map<std::string, double> metrics;
+};
+
+/** All records sharing one config digest. */
+struct TrendLine
+{
+    std::string digest;
+    std::string config, mix;
+    std::string seed; ///< rendered, exact (may exceed 2^53)
+    std::vector<Point> points;
+    std::vector<json::ValuePtr> records; ///< same order as points
+};
+
+/** Inline SVG sparkline over @p vals (file order, oldest left). */
+std::string
+sparkline(const std::vector<double> &vals)
+{
+    const int w = 160, h = 36, pad = 2;
+    std::ostringstream os;
+    os << "<svg class=\"spark\" width=\"" << w << "\" height=\"" << h
+       << "\" viewBox=\"0 0 " << w << ' ' << h << "\">";
+    std::vector<double> finite;
+    for (const double v : vals) {
+        if (std::isfinite(v))
+            finite.push_back(v);
+    }
+    if (!finite.empty()) {
+        const double lo =
+            *std::min_element(finite.begin(), finite.end());
+        const double hi =
+            *std::max_element(finite.begin(), finite.end());
+        auto xAt = [&](std::size_t i) {
+            return vals.size() < 2
+                ? w / 2.0
+                : pad
+                    + static_cast<double>(i) * (w - 2.0 * pad)
+                        / static_cast<double>(vals.size() - 1);
+        };
+        auto yAt = [&](double v) {
+            if (hi <= lo)
+                return h / 2.0;
+            return h - pad - (v - lo) / (hi - lo) * (h - 2.0 * pad);
+        };
+        os << "<polyline fill=\"none\" stroke=\"#4878a8\" "
+              "stroke-width=\"1.5\" points=\"";
+        bool first = true;
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (!std::isfinite(vals[i]))
+                continue;
+            os << (first ? "" : " ") << csprintf("%.1f", xAt(i)) << ','
+               << csprintf("%.1f", yAt(vals[i]));
+            first = false;
+        }
+        os << "\"/>";
+        // Mark the newest value.
+        for (std::size_t i = vals.size(); i-- > 0;) {
+            if (std::isfinite(vals[i])) {
+                os << "<circle cx=\"" << csprintf("%.1f", xAt(i))
+                   << "\" cy=\"" << csprintf("%.1f", yAt(vals[i]))
+                   << "\" r=\"2.5\" fill=\"#c0504d\"/>";
+                break;
+            }
+        }
+    }
+    os << "</svg>";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string ledgerPath, outPath = "dash.html";
+    std::vector<std::string> metrics;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs an argument\n";
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (arg == "--version") {
+            std::cout << RunManifest::buildInfo() << "\n";
+            return 0;
+        } else if (arg == "-o" || arg == "--output") {
+            outPath = need("-o");
+        } else if (arg == "--metric") {
+            metrics.push_back(need("--metric"));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage();
+        } else if (ledgerPath.empty()) {
+            ledgerPath = arg;
+        } else {
+            std::cerr << "unexpected extra operand '" << arg << "'\n";
+            return usage();
+        }
+    }
+    if (ledgerPath.empty())
+        return usage();
+    if (metrics.empty())
+        metrics = {"insts_per_sec", "ipc_sum", "avg_read_latency_ns",
+                   "dynamic_power"};
+
+    std::string err;
+    const std::vector<json::ValuePtr> records =
+        readLedger(ledgerPath, &err);
+    if (!err.empty()) {
+        std::cerr << "fbdp-dash: " << err << "\n";
+        return 2;
+    }
+
+    // Group records into trend lines by config digest, file order.
+    std::vector<TrendLine> lines;
+    std::map<std::string, std::size_t> byDigest;
+    json::ValuePtr newest;
+    std::uint64_t seq = 0;
+    for (const json::ValuePtr &rec : records) {
+        if (!rec || !rec->isObject())
+            continue;
+        const json::ValuePtr schema = rec->get("schema");
+        if (!schema || !schema->isString()
+            || schema->asString() != ledgerSchema)
+            continue;
+        const json::ValuePtr m = rec->get("manifest");
+        const json::ValuePtr d = m ? m->get("config_digest") : nullptr;
+        if (!d || !d->isString())
+            continue;
+        newest = rec;
+        const std::string digest = d->asString();
+        auto [it, fresh] =
+            byDigest.emplace(digest, lines.size());
+        if (fresh) {
+            TrendLine tl;
+            tl.digest = digest;
+            lines.push_back(std::move(tl));
+        }
+        TrendLine &tl = lines[it->second];
+        if (const json::ValuePtr c = rec->get("config");
+            c && c->isString())
+            tl.config = c->asString();
+        if (const json::ValuePtr x = rec->get("mix");
+            x && x->isString())
+            tl.mix = x->asString();
+        if (const json::ValuePtr s = rec->get("seed");
+            s && s->isNumber())
+            tl.seed = s->isInteger()
+                ? json::encodeNumber(s->asUint64())
+                : json::encodeNumber(s->asNumber());
+        Point p;
+        p.seq = seq++;
+        for (const auto &[key, entry] :
+             flattenJson(rec->get("metrics"))) {
+            if (entry.numeric)
+                p.metrics[key] = entry.num;
+        }
+        tl.points.push_back(std::move(p));
+        tl.records.push_back(rec);
+    }
+    if (lines.empty()) {
+        std::cerr << "fbdp-dash: '" << ledgerPath
+                  << "' holds no ledger records\n";
+        return 2;
+    }
+
+    std::ofstream os(outPath);
+    if (!os) {
+        std::cerr << "fbdp-dash: cannot open " << outPath
+                  << " for writing\n";
+        return 2;
+    }
+
+    os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+          "<title>fbdp dashboard</title>\n<style>\n"
+          "body{font:14px/1.45 system-ui,sans-serif;margin:24px;"
+          "color:#222}\n"
+          "h1{font-size:20px} h2{font-size:16px;margin-top:28px}\n"
+          "table{border-collapse:collapse;margin-top:8px}\n"
+          "th,td{border:1px solid #ccc;padding:4px 10px;"
+          "text-align:right;font-variant-numeric:tabular-nums}\n"
+          "th{background:#f0f2f5} td.l,th.l{text-align:left}\n"
+          ".ok{color:#1a7f37;font-weight:600}\n"
+          ".drift{color:#c0392b;font-weight:600}\n"
+          ".na{color:#888}\n"
+          ".mono{font-family:ui-monospace,monospace;font-size:12px}\n"
+          ".spark{vertical-align:middle}\n"
+          "</style></head><body>\n"
+          "<h1>fbdp cross-run dashboard</h1>\n"
+       << "<p class=\"mono\">" << htmlEscape(RunManifest::buildInfo())
+       << " &mdash; ledger: " << htmlEscape(ledgerPath) << " ("
+       << records.size() << " records, " << lines.size()
+       << " trend lines)</p>\n";
+
+    // --- cell grid: one row per trend line ---
+    os << "<h2>Cells</h2>\n<table>\n<tr>"
+          "<th class=\"l\">config</th><th class=\"l\">mix</th>"
+          "<th>seed</th><th class=\"l\">digest</th><th>runs</th>";
+    for (const std::string &m : metrics)
+        os << "<th>" << htmlEscape(m) << "</th>";
+    os << "<th>trend</th></tr>\n";
+    for (const TrendLine &tl : lines) {
+        os << "<tr><td class=\"l\">" << htmlEscape(tl.config)
+           << "</td><td class=\"l\">" << htmlEscape(tl.mix)
+           << "</td><td>" << htmlEscape(tl.seed)
+           << "</td><td class=\"l mono\">"
+           << htmlEscape(tl.digest.substr(0, 12)) << "</td><td>"
+           << tl.points.size() << "</td>";
+        const Point &latest = tl.points.back();
+        for (const std::string &m : metrics) {
+            const auto it = latest.metrics.find(m);
+            if (it == latest.metrics.end())
+                os << "<td class=\"na\">&ndash;</td>";
+            else
+                os << "<td>" << fmtMetric(it->second) << "</td>";
+        }
+        // Same verdict `fbdp-report --history` would give.
+        if (tl.points.size() < 2) {
+            os << "<td class=\"na\">n/a</td>";
+        } else {
+            HistoryOptions hopt;
+            hopt.digest = tl.digest;
+            const HistoryReport rep =
+                analyzeHistory(tl.records, hopt);
+            if (!rep.ok())
+                os << "<td class=\"na\">n/a</td>";
+            else if (rep.drifted())
+                os << "<td class=\"drift\">DRIFT</td>";
+            else
+                os << "<td class=\"ok\">ok</td>";
+        }
+        os << "</tr>\n";
+    }
+    os << "</table>\n";
+
+    // --- sparklines per trend line ---
+    os << "<h2>Trends</h2>\n<table>\n<tr><th class=\"l\">cell</th>";
+    for (const std::string &m : metrics)
+        os << "<th>" << htmlEscape(m) << "</th>";
+    os << "</tr>\n";
+    for (const TrendLine &tl : lines) {
+        os << "<tr><td class=\"l\">" << htmlEscape(tl.config) << " / "
+           << htmlEscape(tl.mix) << " <span class=\"mono\">seed "
+           << htmlEscape(tl.seed) << "</span></td>";
+        for (const std::string &m : metrics) {
+            std::vector<double> vals;
+            for (const Point &p : tl.points) {
+                const auto it = p.metrics.find(m);
+                vals.push_back(it == p.metrics.end()
+                                   ? std::nan("")
+                                   : it->second);
+            }
+            const Point &latest = tl.points.back();
+            const auto it = latest.metrics.find(m);
+            os << "<td>" << sparkline(vals);
+            if (it != latest.metrics.end())
+                os << " <span class=\"mono\">"
+                   << fmtMetric(it->second) << "</span>";
+            os << "</td>";
+        }
+        os << "</tr>\n";
+    }
+    os << "</table>\n";
+
+    // --- newest manifest, in full ---
+    os << "<h2>Latest manifest</h2>\n<table>\n";
+    if (const json::ValuePtr m =
+            newest ? newest->get("manifest") : nullptr;
+        m && m->isObject()) {
+        for (const auto &[key, v] : m->members()) {
+            os << "<tr><th class=\"l\">" << htmlEscape(key)
+               << "</th><td class=\"l mono\">";
+            if (v->isString())
+                os << htmlEscape(v->asString());
+            else if (v->isBool())
+                os << (v->asBool() ? "true" : "false");
+            else if (v->isNumber())
+                os << htmlEscape(
+                    v->isInteger()
+                        ? json::encodeNumber(v->asUint64())
+                        : json::encodeNumber(v->asNumber()));
+            else
+                os << "&ndash;";
+            os << "</td></tr>\n";
+        }
+    }
+    os << "</table>\n</body></html>\n";
+
+    if (!os) {
+        std::cerr << "fbdp-dash: short write to " << outPath << "\n";
+        return 2;
+    }
+    std::cout << "fbdp-dash: " << records.size() << " records, "
+              << lines.size() << " trend lines -> " << outPath
+              << "\n";
+    return 0;
+}

@@ -29,9 +29,28 @@
  *                         shape for gating two --profile-kernel dumps
  *                         against each other
  *
+ * History mode — trend a cross-run ledger instead of diffing two
+ * files (see system/ledger.hh; records come from `fbdpsim --ledger`
+ * or a sweep's FBDP_LEDGER):
+ *
+ *   fbdp-report --history runs.jsonl [options]
+ *
+ *   --digest <hex>        trend this config digest (default: the
+ *                         newest record's digest)
+ *   --last <n>            use only the newest <n> matching records
+ *   --tol / --only / --ignore / --higher-better / --lower-better /
+ *   --verbose             as above; drift is two-sided by default
+ *
+ * The newest matching record is compared against the mean of its
+ * predecessors; drift beyond tolerance exits 1, just like a two-file
+ * regression.
+ *
+ *   --version             print the build-info string and exit
+ *
  * Exit status: 0 no regression, 1 regression found, 2 usage or IO
  * error — so CI can tell "the metric got worse" apart from "the
- * comparison never happened".
+ * comparison never happened".  An --only filter that matches nothing
+ * also exits 2: a filter typo must not read as a clean pass.
  */
 
 #include <cstdlib>
@@ -40,6 +59,8 @@
 #include <string>
 
 #include "common/json.hh"
+#include "system/ledger.hh"
+#include "system/manifest.hh"
 #include "system/rundiff.hh"
 
 namespace {
@@ -63,7 +84,13 @@ usage(const char *argv0)
         << "                       kernel.shards counters + event\n"
         << "                       imbalance (skips host time, rates\n"
         << "                       and lane assignments)\n"
-        << "exit: 0 ok, 1 regression, 2 usage/IO error\n";
+        << "or trend a cross-run ledger:\n"
+        << "       " << argv0 << " --history <runs.jsonl> [options]\n"
+        << "  --digest <hex>       config digest to trend (default:\n"
+        << "                       the newest record's)\n"
+        << "  --last <n>           only the newest n matching records\n"
+        << "  --version            print build info and exit\n"
+        << "exit: 0 ok, 1 regression/drift, 2 usage/IO error\n";
     return 2;
 }
 
@@ -74,9 +101,10 @@ main(int argc, char **argv)
 {
     using namespace fbdp;
 
-    std::string pathA, pathB;
+    std::string pathA, pathB, historyPath, digest;
     DiffOptions opt;
-    bool verbose = false;
+    bool verbose = false, history = false;
+    std::size_t lastN = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -122,6 +150,17 @@ main(int argc, char **argv)
             opt.ignore.push_back(".lane");
         } else if (arg == "--verbose") {
             verbose = true;
+        } else if (arg == "--history") {
+            history = true;
+            historyPath = need("--history");
+        } else if (arg == "--digest") {
+            digest = need("--digest");
+        } else if (arg == "--last") {
+            lastN = static_cast<std::size_t>(
+                std::strtoull(need("--last"), nullptr, 10));
+        } else if (arg == "--version") {
+            std::cout << RunManifest::buildInfo() << "\n";
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -137,6 +176,44 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
+    if (history) {
+        if (!pathA.empty() || !pathB.empty()) {
+            std::cerr << "--history takes the ledger path, no other "
+                         "operands\n";
+            return usage(argv[0]);
+        }
+        std::string err;
+        const auto records = readLedger(historyPath, &err);
+        if (!err.empty()) {
+            std::cerr << err << "\n";
+            return 2;
+        }
+        HistoryOptions hopt;
+        hopt.tolerance = opt.tolerance;
+        hopt.lastN = lastN;
+        hopt.digest = digest;
+        hopt.direction = opt.direction;
+        hopt.only = opt.only;
+        hopt.ignore = opt.ignore;
+        const HistoryReport rep = analyzeHistory(records, hopt);
+        if (!rep.ok()) {
+            std::cerr << "fbdp-report: " << rep.error << "\n";
+            return 2;
+        }
+        printHistoryReport(rep, std::cout, verbose);
+        if (!opt.only.empty() && rep.diff.compared == 0) {
+            std::cerr << "fbdp-report: --only filter matched no "
+                         "metric\n";
+            return 2;
+        }
+        if (rep.drifted()) {
+            std::cout << "RESULT: DRIFT\n";
+            return 1;
+        }
+        std::cout << "RESULT: OK\n";
+        return 0;
+    }
+
     if (pathA.empty() || pathB.empty())
         return usage(argv[0]);
 
@@ -156,6 +233,13 @@ main(int argc, char **argv)
 
     std::cout << "A: " << pathA << "\nB: " << pathB << "\n";
     printDiffReport(report, std::cout, verbose);
+
+    // A filter that selects nothing compared nothing: that is a typo
+    // (or a renamed metric), not a pass.
+    if (!opt.only.empty() && report.compared == 0) {
+        std::cerr << "fbdp-report: --only filter matched no key\n";
+        return 2;
+    }
 
     if (report.failed()) {
         std::cout << "RESULT: REGRESSION\n";

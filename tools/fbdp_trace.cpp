@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "system/manifest.hh"
 #include "system/metrics.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
@@ -51,7 +52,8 @@ usage()
         "       fbdp-trace record BENCH OUT [--ops N] [--seed S] "
         "[--no-sp] [--format ...] [--gzip]\n"
         "       fbdp-trace head IN [--ops N]\n"
-        "       fbdp-trace stat IN\n";
+        "       fbdp-trace stat IN\n"
+        "       fbdp-trace --version\n";
     std::exit(2);
 }
 
@@ -195,6 +197,10 @@ main(int argc, char **argv)
     if (argc < 2)
         usage();
     const std::string cmd = argv[1];
+    if (cmd == "--version") {
+        std::cout << RunManifest::buildInfo() << "\n";
+        return 0;
+    }
 
     // Leading positional arguments, then options.
     std::vector<std::string> pos;
